@@ -1,0 +1,12 @@
+"""Shared benchmark knobs.
+
+``BLACKDP_BENCH_TRIALS`` scales the Figure 4 benchmark (default 6 per
+point for a quick run; the paper used 150 — set the variable for a full
+regeneration).
+"""
+
+import os
+
+
+def bench_trials(default: int = 6) -> int:
+    return int(os.environ.get("BLACKDP_BENCH_TRIALS", default))

@@ -1,0 +1,31 @@
+"""Ablation A — BlackDP versus related-work baselines.
+
+Four structural scenarios from the paper's related-work argument.  The
+expected "who wins": every method catches the textbook multi-replier
+case; only BlackDP also catches the single-replier topology, the
+modest-sequence attacker, and the cooperative teammate.
+"""
+
+from repro.experiments.sweeps import format_comparison, run_baseline_comparison
+
+
+def test_baseline_comparison(benchmark):
+    rows = benchmark.pedantic(run_baseline_comparison, rounds=1, iterations=1)
+    print()
+    print(format_comparison(rows))
+    by_scenario = {row.scenario: row.detected_by for row in rows}
+    # Everyone wins the easy case.
+    assert all(by_scenario["multi-replier"].values())
+    # Only BlackDP survives the hard cases.
+    assert by_scenario["single-replier"]["blackdp"]
+    assert not by_scenario["single-replier"]["jaiswal-compare"]
+    assert by_scenario["modest-seq"]["blackdp"]
+    assert not by_scenario["modest-seq"]["jhaveri-peak"]
+    assert not by_scenario["modest-seq"]["tan-static"]
+    assert not by_scenario["modest-seq"]["jaiswal-compare"]
+    assert by_scenario["cooperative-teammate"]["blackdp(teammate)"]
+    assert not any(
+        detected
+        for method, detected in by_scenario["cooperative-teammate"].items()
+        if method != "blackdp(teammate)"
+    )

@@ -1,0 +1,26 @@
+"""Ablation D — the §III-C authentication bottleneck and its fog fix.
+
+Floods one CH with simultaneous detection requests and measures mean
+detection latency.  Expected shape: latency grows with burst size on the
+RSU's single core, and plateaus once overflow authentication work is
+offloaded to a fog node — the paper's proposed mitigation.
+"""
+
+from repro.experiments.congestion import format_congestion, run_congestion_sweep
+
+
+def test_congestion_vs_fog(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_congestion_sweep(bursts=(1, 5, 15, 30)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_congestion(rows))
+    no_fog = {row.reports: row for row in rows if not row.fog}
+    fog = {row.reports: row for row in rows if row.fog}
+    # Monotone growth without fog ...
+    assert no_fog[30].mean_latency > no_fog[15].mean_latency > no_fog[5].mean_latency
+    # ... and a plateau with it.
+    assert fog[30].mean_latency < no_fog[30].mean_latency / 2
+    assert fog[30].mean_latency < fog[5].mean_latency * 2

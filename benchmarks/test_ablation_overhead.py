@@ -1,0 +1,22 @@
+"""Ablation C — detection overhead versus vehicle density.
+
+Supports the paper's §III-C limitation discussion: detection cost (probe
+packets + latency) is independent of how crowded the cluster is, because
+the examination is a point-to-point exchange between the CH and the
+suspect — density only affects the discovery flood, not the detection.
+"""
+
+from repro.experiments.sweeps import format_overhead, run_overhead_sweep
+
+
+def test_overhead_vs_density(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_overhead_sweep(densities=(25, 50, 100, 200)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_overhead(rows))
+    packet_counts = {row.detection_packets for row in rows}
+    assert len(packet_counts) == 1  # density-independent detection cost
+    assert all(row.detection_latency < 5.0 for row in rows)

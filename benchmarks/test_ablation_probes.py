@@ -1,0 +1,21 @@
+"""Ablation B — what the fake-destination double probe buys.
+
+A naive design (single probe for the *real* destination, convict on any
+reply) false-positives on every honest node that legitimately caches a
+route; BlackDP's fake-destination double probe convicts none of them
+while catching the same attackers.
+"""
+
+from repro.experiments.sweeps import format_probe_ablation, run_probe_ablation
+
+
+def test_probe_design_ablation(benchmark):
+    result = benchmark.pedantic(run_probe_ablation, rounds=1, iterations=1)
+    print()
+    print(format_probe_ablation(result))
+    # Same true positives...
+    assert result.blackdp_true_positives == result.attacker_suspects
+    assert result.naive_true_positives == result.attacker_suspects
+    # ...but only the naive design convicts honest nodes.
+    assert result.naive_false_positives == result.honest_suspects
+    assert result.blackdp_false_positives == 0

@@ -1,0 +1,42 @@
+"""Figure 4 — detection accuracy / FP / FN versus attacker cluster.
+
+Regenerates both series (single and cooperative).  The trial count per
+point defaults to 6 for benchmark turnaround; set
+``BLACKDP_BENCH_TRIALS=150`` to match the paper's repetitions exactly.
+
+Expected shape (checked): 100 % accuracy, zero FP and FN for attacker
+clusters 1-7; accuracy drops / FNR rises inside the renewal zone 8-10;
+FPR is zero everywhere.
+"""
+
+from repro.experiments.figure4 import (
+    check_expected_shape,
+    format_figure4,
+    run_figure4,
+)
+
+from benchmarks.conftest import bench_trials
+
+
+def test_figure4_single(benchmark):
+    trials = bench_trials()
+    rows = benchmark.pedantic(
+        lambda: run_figure4(trials=trials, attacks=("single",)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure4(rows))
+    assert check_expected_shape(rows) == []
+
+
+def test_figure4_cooperative(benchmark):
+    trials = bench_trials()
+    rows = benchmark.pedantic(
+        lambda: run_figure4(trials=trials, attacks=("cooperative",)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure4(rows))
+    assert check_expected_shape(rows) == []

@@ -1,0 +1,19 @@
+"""Figure 5 — number of detection packets per scenario.
+
+Regenerates every enumerated scenario and checks the exact counts the
+paper reports: no attacker 4-6, single black hole 6-9 (6 same-cluster,
+8 respond-then-flee, 9 cross-cluster + flee), cooperative 8-11.
+"""
+
+from repro.experiments.figure5 import bands, format_figure5, run_figure5
+
+
+def test_figure5_packet_counts(benchmark):
+    rows = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    print()
+    print(format_figure5(rows))
+    assert all(row.matches_paper for row in rows)
+    measured = bands(rows)
+    assert measured["none"] == (4, 6)
+    assert measured["single"] == (6, 9)
+    assert measured["cooperative"] == (8, 11)

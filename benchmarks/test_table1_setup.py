@@ -1,0 +1,32 @@
+"""Table I — the simulation parameters, and the cost of standing the
+Table I world up (10 RSUs with detection services, TA fog pair, 100
+enrolled vehicles with verifiers)."""
+
+from repro.experiments import TableIConfig
+from repro.experiments.world import build_world
+
+
+def build_table1_world():
+    table = TableIConfig()
+    world = build_world(seed=1, highway=table.make_highway())
+    world.populate(table.num_vehicles)
+    world.sim.run(until=1.0)
+    return world
+
+
+def test_table1_world_setup(benchmark):
+    world = benchmark.pedantic(build_table1_world, rounds=3, iterations=1)
+    table = TableIConfig()
+    # The stood-up world matches every Table I row.
+    assert len(world.rsus) == table.num_rsus == 10
+    assert len(world.vehicles) == table.num_vehicles == 100
+    assert world.highway.length == table.highway_length == 10_000.0
+    assert world.highway.width == table.highway_width == 200.0
+    assert world.highway.cluster_length == table.cluster_length == 1000.0
+    assert all(v.transmission_range == 1000.0 for v in world.vehicles)
+    joined = [v for v in world.vehicles if v.current_cluster is not None]
+    assert len(joined) == table.num_vehicles  # everyone joined a cluster
+    print()
+    print("Table I — simulation parameters")
+    for name, value in table.rows():
+        print(f"  {name:<20} {value}")

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""V2I infrastructure routing: RSUs connecting out-of-range nodes.
+
+"An RSU can connect two nodes that are not in the same communication
+range."  Two vehicles eight kilometres apart — far beyond any multi-hop
+radio path on an empty highway — exchange data through the cluster
+heads: the source hands its packet to its CH, the CH consults the
+backbone-maintained member directory and tunnels it to the
+destination's CH, which delivers it by radio.
+
+Run:  python examples/v2i_tunneling.py
+"""
+
+from repro.clusters import install_infrastructure_routing, send_via_infrastructure
+from repro.experiments.world import build_world
+
+
+def main():
+    world = build_world(seed=12)
+    services = install_infrastructure_routing(world.rsus)
+    source = world.add_vehicle("source", x=700.0)
+    destination = world.add_vehicle("destination", x=8700.0)
+    world.sim.run(until=1.0)
+    print(f"source in cluster {source.current_cluster}, "
+          f"destination in cluster {destination.current_cluster} "
+          f"({destination.position[0] - source.position[0]:.0f} m apart)")
+
+    # An ad hoc path exists only because the RSUs relay the flood by
+    # radio — a fragile ~10-hop chain.
+    results = []
+    source.aodv.discover(destination.address, results.append)
+    world.sim.run(until=world.sim.now + 5.0)
+    route = results[0].route
+    print(f"ad hoc route: {route.hop_count if route else 'none'} radio hops")
+
+    # The infrastructure crosses the same gap in wired hops.
+    received = []
+    destination.aodv.add_data_sink(lambda p: received.append(p.payload))
+    send_via_infrastructure(source, destination.address, "hello across 8 km")
+    world.sim.run(until=world.sim.now + 2.0)
+    print(f"V2I delivery: {received}")
+    hops = world.net.backbone_path_length("rsu-1", "rsu-9")
+    print(f"path: source -> rsu-{source.current_cluster} "
+          f"-> ({hops} wired hops) -> rsu-{destination.current_cluster} "
+          f"-> destination")
+    entry = services[source.current_cluster - 1].stats
+    print(f"gateway stats at the entry CH: tunnelled_out={entry.tunnelled_out}")
+
+
+if __name__ == "__main__":
+    main()

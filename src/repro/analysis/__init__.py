@@ -1,0 +1,12 @@
+"""Analysis and instrumentation helpers.
+
+- :class:`~repro.analysis.sequence.SequenceTracer` records every
+  transmission in a simulation;
+- :func:`~repro.analysis.sequence.render_sequence` turns a recorded
+  exchange into an ASCII sequence diagram (the message ladders in
+  docs/protocol-walkthrough.md, generated from a live run).
+"""
+
+from repro.analysis.sequence import SequenceTracer, TraceEvent, render_sequence
+
+__all__ = ["SequenceTracer", "TraceEvent", "render_sequence"]

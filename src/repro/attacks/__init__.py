@@ -1,0 +1,28 @@
+"""Black hole attackers.
+
+Implements the paper's attack model: compromised vehicles that answer any
+route request with a route reply carrying "a very high sequence number"
+to win route selection, then drop every data packet routed through them.
+
+- :class:`~repro.attacks.blackhole.BlackHoleVehicle` -- a single attacker.
+- :func:`~repro.attacks.cooperative.make_cooperative_pair` -- two
+  attackers executing the cooperative variant (the second approves the
+  first's route claims).
+- :class:`~repro.attacks.policy.AttackerPolicy` -- evasive behaviours
+  (act legitimately, flee, renew pseudonym) that produce the paper's
+  accuracy drop in clusters 8-10.
+"""
+
+from repro.attacks.blackhole import BlackHoleAodv, BlackHoleVehicle
+from repro.attacks.cooperative import make_cooperative_pair
+from repro.attacks.grayhole import GrayHoleAodv, GrayHoleVehicle
+from repro.attacks.policy import AttackerPolicy
+
+__all__ = [
+    "AttackerPolicy",
+    "BlackHoleAodv",
+    "BlackHoleVehicle",
+    "GrayHoleAodv",
+    "GrayHoleVehicle",
+    "make_cooperative_pair",
+]

@@ -1,0 +1,85 @@
+"""Cooperative black hole pairs.
+
+"Based on an agreement between the attackers, the first attacker receives
+the RREQ and replies to the source node with the highest SN, informing
+the source node that it has the freshest route through the cooperative
+attacker."  The pair must be within radio range of each other to
+cooperate; :func:`make_cooperative_pair` wires the mutual agreement and
+enforces the placement constraint.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.blackhole import BlackHoleVehicle
+from repro.attacks.policy import AttackerPolicy
+from repro.mobility.highway import Highway
+from repro.mobility.kinematics import VehicleMotion
+from repro.sim.simulator import Simulator
+
+
+def make_cooperative_pair(
+    simulator: Simulator,
+    highway: Highway,
+    *,
+    primary_id: str,
+    teammate_id: str,
+    primary_x: float,
+    teammate_x: float,
+    speed: float,
+    lane_y: float = 25.0,
+    policy: AttackerPolicy | None = None,
+    teammate_policy: AttackerPolicy | None = None,
+    enroll=None,
+    authority=None,
+    transmission_range: float = 1000.0,
+    aodv_config=None,
+) -> tuple[BlackHoleVehicle, BlackHoleVehicle]:
+    """Create two mutually agreed black hole vehicles.
+
+    Parameters
+    ----------
+    enroll:
+        Optional callable ``enroll(long_term_id) -> Enrolment`` used to
+        credential both attackers (they hold valid certificates until
+        revoked, per the paper's attack model).
+    policy / teammate_policy:
+        Behaviours; the teammate defaults to the primary's policy.
+
+    Raises
+    ------
+    ValueError
+        When the two placements are farther apart than the transmission
+        range — cooperation requires mutual reachability.
+    """
+    if abs(primary_x - teammate_x) > transmission_range:
+        raise ValueError(
+            "cooperative attackers must be within communication range of "
+            f"each other: |{primary_x} - {teammate_x}| > {transmission_range}"
+        )
+    shared_policy = policy or AttackerPolicy()
+    vehicles = []
+    for node_id, x, node_policy in (
+        (primary_id, primary_x, shared_policy),
+        (teammate_id, teammate_x, teammate_policy or shared_policy),
+    ):
+        motion = VehicleMotion(
+            entry_time=simulator.now, entry_x=x, speed=speed, lane_y=lane_y
+        )
+        enrolment = enroll(node_id) if enroll is not None else None
+        vehicles.append(
+            BlackHoleVehicle(
+                simulator,
+                highway,
+                node_id,
+                motion,
+                policy=node_policy,
+                enrolment=enrolment,
+                authority=authority,
+                transmission_range=transmission_range,
+                aodv_config=aodv_config,
+            )
+        )
+    primary, teammate = vehicles
+    primary.set_teammate(teammate.address)
+    teammate.set_teammate(primary.address)
+    return primary, teammate

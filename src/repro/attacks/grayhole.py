@@ -1,0 +1,120 @@
+"""Gray hole attacker (extension).
+
+The gray hole is the black hole's stealthier cousin from the paper's
+related work (Jhaveri et al.): it attracts routes exactly like a black
+hole but drops data *selectively* — with some probability, or only for
+selected flows — to stay under statistical watchdogs' radar.
+
+BlackDP's detection is behavioural at the routing layer (replying to
+probes for non-existent destinations), so gray holes are caught exactly
+like black holes; what changes is the damage model, which the PDR
+experiment quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.attacks.blackhole import BlackHoleAodv, BlackHoleVehicle
+from repro.attacks.policy import AttackerPolicy
+from repro.mobility.highway import Highway
+from repro.routing.packets import DataPacket
+from repro.routing.protocol import AodvConfig
+from repro.sim.simulator import Simulator
+
+#: Decides whether one transit packet is dropped; receives the packet.
+DropSelector = Callable[[DataPacket], bool]
+
+
+class GrayHoleAodv(BlackHoleAodv):
+    """Black hole routing behaviour + selective data dropping."""
+
+    def __init__(
+        self,
+        node,
+        config: AodvConfig | None = None,
+        *,
+        policy: AttackerPolicy | None = None,
+        teammate: str | None = None,
+        identity=None,
+        drop_probability: float = 0.5,
+        selector: DropSelector | None = None,
+    ) -> None:
+        super().__init__(
+            node, config, policy=policy, teammate=teammate, identity=identity
+        )
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], got {drop_probability}"
+            )
+        self.drop_probability = drop_probability
+        self.selector = selector
+        self.data_forwarded_through = 0
+
+    def _accept_data(self, packet: DataPacket, sender: str) -> bool:
+        if self.selector is not None:
+            drop = self.selector(packet)
+        else:
+            drop = self._attack_rng.random() < self.drop_probability
+        if drop:
+            self.data_dropped += 1
+            return False
+        self.data_forwarded_through += 1
+        return True
+
+
+class GrayHoleVehicle(BlackHoleVehicle):
+    """A vehicle running :class:`GrayHoleAodv`.
+
+    Extra parameters over :class:`~repro.attacks.blackhole.BlackHoleVehicle`:
+
+    drop_probability:
+        Chance each transit data packet is dropped (default 0.5).
+    selector:
+        Optional per-packet predicate overriding the probability (e.g.
+        drop only safety messages).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        highway: Highway,
+        node_id: str,
+        motion,
+        *,
+        policy: AttackerPolicy | None = None,
+        drop_probability: float = 0.5,
+        selector: DropSelector | None = None,
+        enrolment=None,
+        authority=None,
+        transmission_range: float = 1000.0,
+        aodv_config: AodvConfig | None = None,
+    ) -> None:
+        self._drop_probability = drop_probability
+        self._selector = selector
+        super().__init__(
+            simulator,
+            highway,
+            node_id,
+            motion,
+            policy=policy,
+            enrolment=enrolment,
+            authority=authority,
+            transmission_range=transmission_range,
+            aodv_config=aodv_config,
+        )
+
+    def _make_aodv(self, config: AodvConfig | None) -> GrayHoleAodv:
+        aodv = GrayHoleAodv(
+            self,
+            config,
+            policy=self._policy,
+            identity=self.identity,
+            drop_probability=self._drop_probability,
+            selector=self._selector,
+        )
+        if self._policy.fake_hello_reply:
+            from repro.core.packets import SecureHello
+
+            self.register_handler(SecureHello, self._fake_hello_reply)
+        return aodv

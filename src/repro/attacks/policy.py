@@ -1,0 +1,90 @@
+"""Attacker behaviour policies.
+
+The paper's Figure 4 accuracy drop in clusters 8-10 comes from three
+evasive behaviours: "the attacker acted legitimately during the detection
+phase", "the attacker fled from the network ... without responding to the
+RSU detection packets", and "certificate renewal where the attacker takes
+advantage of changing its identity during the detection process".  A
+policy captures which of these an attacker exhibits and when.
+
+Because the detection probes are indistinguishable from genuine route
+requests (the CH uses a disposable identity), evasions are expressed in
+terms the attacker can actually observe: how many route requests it has
+answered so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AttackerPolicy:
+    """How a black hole behaves.
+
+    Attributes
+    ----------
+    fake_seq_boost:
+        How far above the requested destination sequence the fake RREP
+        claims to be (paper's example: SN=120 vs a genuine 20).
+    fake_hop_count:
+        Advertised hop count; small, to look attractive.
+    respond_probability:
+        Chance of answering any given RREQ maliciously; below 1.0 the
+        attacker sometimes "acts legitimately" instead (forwards the
+        flood like an honest node).
+    max_replies:
+        Stop attacking (go permanently legitimate) after this many fake
+        replies; ``None`` means never stop.
+    flee_after_replies:
+        After this many fake replies, flee: accelerate out of the
+        current cluster (or off the highway when in the last cluster).
+        ``None`` disables fleeing.
+    renew_after_replies:
+        After this many fake replies, attempt a pseudonym renewal so the
+        identity under detection disappears.  ``None`` disables.
+    flee_speed:
+        Speed (m/s) adopted when fleeing.
+    fake_hello_reply:
+        Answer verification Hello packets with a forged reply claiming
+        to be the destination (the paper's "anonymity response"; the
+        source reports immediately, skipping the second discovery).
+    """
+
+    fake_seq_boost: int = 120
+    fake_hop_count: int = 1
+    respond_probability: float = 1.0
+    max_replies: int | None = None
+    flee_after_replies: int | None = None
+    renew_after_replies: int | None = None
+    flee_speed: float = 40.0
+    fake_hello_reply: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.respond_probability <= 1.0:
+            raise ValueError(
+                f"respond_probability must be in [0, 1], got "
+                f"{self.respond_probability}"
+            )
+        if self.fake_seq_boost <= 0:
+            raise ValueError("fake_seq_boost must be positive")
+
+    @classmethod
+    def aggressive(cls) -> "AttackerPolicy":
+        """Always respond, never evade — the clusters 1-7 behaviour."""
+        return cls()
+
+    @classmethod
+    def act_legitimately(cls) -> "AttackerPolicy":
+        """Never answer maliciously (attack suspended during detection)."""
+        return cls(respond_probability=0.0)
+
+    @classmethod
+    def hit_and_run(cls, replies: int = 1) -> "AttackerPolicy":
+        """Respond ``replies`` times, then flee the cluster."""
+        return cls(flee_after_replies=replies)
+
+    @classmethod
+    def identity_changer(cls, replies: int = 1) -> "AttackerPolicy":
+        """Respond ``replies`` times, then renew the pseudonym."""
+        return cls(renew_after_replies=replies)

@@ -1,0 +1,39 @@
+"""Baseline black hole defences from the paper's related work.
+
+Implemented to support the comparison benchmarks (who wins, and where
+each baseline structurally fails):
+
+- :class:`SequenceComparisonDetector` — Jaiswal et al.: compare the first
+  RREP's sequence number against the rest; an outlier first reply marks
+  an attacker.  Fails when the attacker is the only replier.
+- :class:`PeakThresholdDetector` — Jhaveri et al.: maintain a running
+  PEAK, the maximum plausible sequence number; replies above it are
+  malicious.
+- :class:`StaticThresholdDetector` — Tan & Kim: fixed per-environment
+  thresholds.
+- :class:`WatchdogTrustDetector` — opinion/trust methods (Dangore, Kaur):
+  rate next hops by observed forwarding; unreliable under churn and
+  attacker-polluted votes.
+- :class:`NaiveProbeDetector` — the single-probe/real-destination
+  strawman used by the probe-design ablation: convicts on the first
+  reply to a probe for a *real* destination, which false-positives on
+  honest nodes that legitimately cache routes.
+"""
+
+from repro.baselines.sequence import (
+    BaselineVerdict,
+    PeakThresholdDetector,
+    SequenceComparisonDetector,
+    StaticThresholdDetector,
+)
+from repro.baselines.trust import WatchdogTrustDetector
+from repro.baselines.naive_probe import NaiveProbeDetector
+
+__all__ = [
+    "BaselineVerdict",
+    "NaiveProbeDetector",
+    "PeakThresholdDetector",
+    "SequenceComparisonDetector",
+    "StaticThresholdDetector",
+    "WatchdogTrustDetector",
+]

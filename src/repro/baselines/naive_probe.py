@@ -1,0 +1,28 @@
+"""The single-probe / real-destination strawman (ablation comparator).
+
+BlackDP's examiner makes two deliberate design choices: probe for a
+destination that *does not exist*, and require a *second*, higher-sequence
+probe before convicting.  This detector drops both — it probes for the
+reported (real) destination and convicts on the first reply — so the
+probe-design ablation can measure what those choices buy: honest nodes
+that legitimately cache a route to the real destination get convicted,
+i.e. false positives appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.packets import RouteReply
+
+
+@dataclass
+class NaiveProbeDetector:
+    """Convict whoever replies to a single probe for a real destination."""
+
+    probes_sent: int = 0
+
+    def probe_verdict(self, reply: RouteReply | None) -> bool:
+        """True (convict) when the probed node answered at all."""
+        self.probes_sent += 1
+        return reply is not None

@@ -1,0 +1,119 @@
+"""Sequence-number based baseline detectors.
+
+All three operate purely on the RREPs a source collects during one
+discovery, which is exactly the information the papers they reproduce
+assumed — and the root of their structural weaknesses in CV highway
+networks (single-replier topologies, no cooperative detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.routing.packets import RouteReply
+
+
+@dataclass
+class BaselineVerdict:
+    """What a source-side baseline decides for one discovery."""
+
+    #: the reply the source should act on (None: discard everything)
+    chosen: RouteReply | None
+    #: repliers flagged as malicious
+    flagged: list[str] = field(default_factory=list)
+
+    @property
+    def detected_attack(self) -> bool:
+        return bool(self.flagged)
+
+
+def _best(replies: list[RouteReply]) -> RouteReply | None:
+    if not replies:
+        return None
+    return max(replies, key=lambda r: (r.destination_seq, -r.hop_count))
+
+
+class SequenceComparisonDetector:
+    """Jaiswal et al.: flag the first RREP when its sequence number
+    dwarfs every other reply's.
+
+    ``ratio`` is the outlier multiplier: the first reply is malicious
+    when ``first.seq > ratio * max(other seqs)``.  With fewer than two
+    replies there is nothing to compare — the method silently accepts,
+    which is its documented failure mode.
+    """
+
+    def __init__(self, ratio: float = 2.0) -> None:
+        if ratio <= 1.0:
+            raise ValueError(f"ratio must exceed 1.0, got {ratio}")
+        self.ratio = ratio
+
+    def evaluate(self, replies: list[RouteReply]) -> BaselineVerdict:
+        """Replies must be in arrival order (first element = first RREP)."""
+        if len(replies) < 2:
+            return BaselineVerdict(chosen=_best(list(replies)))
+        first = replies[0]
+        rest = replies[1:]
+        rest_max = max(r.destination_seq for r in rest)
+        if rest_max > 0 and first.destination_seq > self.ratio * rest_max:
+            return BaselineVerdict(
+                chosen=_best(rest), flagged=[first.replied_by]
+            )
+        return BaselineVerdict(chosen=_best(list(replies)))
+
+
+class PeakThresholdDetector:
+    """Jhaveri et al.: a running PEAK bounds the plausible sequence
+    number; anything above it is malicious.
+
+    The PEAK grows with legitimately observed sequence numbers
+    (``peak = max(peak, seen) * growth`` per update interval), so slow
+    legitimate growth is tracked while a black hole's jump is not.
+    """
+
+    def __init__(self, initial_peak: int = 50, growth: float = 1.2) -> None:
+        if initial_peak <= 0:
+            raise ValueError("initial_peak must be positive")
+        if growth < 1.0:
+            raise ValueError("growth must be at least 1.0")
+        self.peak = float(initial_peak)
+        self.growth = growth
+
+    def evaluate(self, replies: list[RouteReply]) -> BaselineVerdict:
+        flagged = [r.replied_by for r in replies if r.destination_seq > self.peak]
+        accepted = [r for r in replies if r.destination_seq <= self.peak]
+        self.update(accepted)
+        return BaselineVerdict(chosen=_best(accepted), flagged=flagged)
+
+    def update(self, accepted: list[RouteReply]) -> None:
+        """Advance the PEAK from legitimately accepted replies."""
+        if accepted:
+            seen = max(r.destination_seq for r in accepted)
+            self.peak = max(self.peak, float(seen)) * self.growth
+        else:
+            self.peak *= self.growth
+
+
+#: Tan & Kim's per-environment thresholds (small/medium/large networks).
+STATIC_THRESHOLDS = {"small": 60, "medium": 100, "large": 240}
+
+
+class StaticThresholdDetector:
+    """Tan & Kim: discard replies whose sequence number exceeds a fixed
+    environment-dependent threshold."""
+
+    def __init__(self, environment: str = "medium") -> None:
+        if environment not in STATIC_THRESHOLDS:
+            raise ValueError(
+                f"environment must be one of {sorted(STATIC_THRESHOLDS)}, "
+                f"got {environment!r}"
+            )
+        self.environment = environment
+        self.threshold = STATIC_THRESHOLDS[environment]
+
+    def evaluate(self, replies: list[RouteReply]) -> BaselineVerdict:
+        flagged = [
+            r.replied_by for r in replies if r.destination_seq > self.threshold
+        ]
+        accepted = [r for r in replies if r.destination_seq <= self.threshold]
+        return BaselineVerdict(chosen=_best(accepted), flagged=flagged)

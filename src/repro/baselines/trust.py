@@ -1,0 +1,72 @@
+"""Watchdog/trust-based baseline.
+
+Opinion methods rate peers on observed forwarding behaviour and route
+around nodes whose trust falls below a threshold.  Two structural
+problems in CV highway networks, both reproduced here:
+
+- **churn**: trust resets when a rated vehicle leaves or renews its
+  pseudonym, so the attacker can stay ahead of its reputation;
+- **vote pollution**: malicious voters can push an honest node's trust
+  down (``absorb_votes`` models the shared-opinion variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WatchdogTrustDetector:
+    """Per-source trust table over next-hop forwarding observations.
+
+    Parameters
+    ----------
+    initial_trust:
+        Score a newly met node starts with.
+    reward / penalty:
+        Trust delta for an observed forward / an observed drop.
+    threshold:
+        Nodes at or below this are flagged.
+    """
+
+    initial_trust: float = 0.5
+    reward: float = 0.05
+    penalty: float = 0.2
+    threshold: float = 0.2
+    trust: dict[str, float] = field(default_factory=dict)
+
+    def observe(self, node: str, forwarded: bool) -> None:
+        """Record one watchdog observation of ``node``."""
+        score = self.trust.get(node, self.initial_trust)
+        if forwarded:
+            score = min(1.0, score + self.reward)
+        else:
+            score = max(0.0, score - self.penalty)
+        self.trust[node] = score
+
+    def absorb_votes(self, votes: dict[str, float], weight: float = 0.5) -> None:
+        """Blend in peers' opinions — including, fatally, attackers'."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"weight must be in [0, 1], got {weight}")
+        for node, opinion in votes.items():
+            own = self.trust.get(node, self.initial_trust)
+            self.trust[node] = (1.0 - weight) * own + weight * opinion
+
+    def forget(self, node: str) -> None:
+        """Drop state for a departed/renewed pseudonym (highway churn)."""
+        self.trust.pop(node, None)
+
+    def is_flagged(self, node: str) -> bool:
+        return self.trust.get(node, self.initial_trust) <= self.threshold
+
+    def flagged(self) -> list[str]:
+        return sorted(n for n in self.trust if self.is_flagged(n))
+
+    def observations_to_flag(self) -> int:
+        """How many consecutive observed drops flag a fresh node."""
+        count = 0
+        score = self.initial_trust
+        while score > self.threshold:
+            score = max(0.0, score - self.penalty)
+            count += 1
+        return count

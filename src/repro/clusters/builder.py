@@ -1,0 +1,43 @@
+"""Deploy a chain of RSUs over a highway."""
+
+from __future__ import annotations
+
+from repro.mobility.highway import Highway
+from repro.net.network import Network
+from repro.routing.protocol import AodvConfig
+from repro.sim.simulator import Simulator
+
+from repro.clusters.rsu import RsuNode
+
+
+def build_rsu_chain(
+    simulator: Simulator,
+    network: Network,
+    highway: Highway,
+    *,
+    transmission_range: float = 1000.0,
+    aodv_config: AodvConfig | None = None,
+) -> list[RsuNode]:
+    """Create one RSU per cluster, attach them, and wire the backbone.
+
+    RSUs are deployed "sequentially over the highway to form segments"
+    with high-speed links between adjacent cluster heads.  Returns the
+    RSUs ordered by cluster index (element 0 heads cluster 1).
+    """
+    rsus = [
+        RsuNode(
+            simulator,
+            highway,
+            index,
+            transmission_range=transmission_range,
+            aodv_config=aodv_config,
+        )
+        for index in range(1, highway.num_clusters + 1)
+    ]
+    for rsu in rsus:
+        network.attach(rsu)
+    for left, right in zip(rsus, rsus[1:]):
+        network.connect_backbone(left, right)
+        left.neighbor_rsus.append(right)
+        right.neighbor_rsus.append(left)
+    return rsus

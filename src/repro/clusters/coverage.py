@@ -1,0 +1,113 @@
+"""Cluster coverage strategies: which CH is responsible for a position.
+
+The paper's highway uses fixed-length segments; the urban extension uses
+Voronoi-style coverage around RSUs stationed at intersections.  Both are
+expressed through one small strategy interface so :class:`RsuNode` and
+the BlackDP examiner stay topology-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.mobility.highway import Highway
+from repro.mobility.urban import UrbanGrid
+
+Position = tuple[float, float]
+
+
+class Coverage(Protocol):
+    """Maps positions to 1-based cluster indices."""
+
+    @property
+    def num_clusters(self) -> int: ...
+
+    def cluster_at(self, position: Position) -> int | None:
+        """Cluster responsible for ``position``, or None if uncovered."""
+
+    def rsu_position(self, index: int) -> Position:
+        """Where cluster ``index``'s RSU is stationed."""
+
+    def chase_target(self, index: int, direction: int) -> int | None:
+        """Cluster a fleeing suspect most plausibly moved to, or None
+        when the topology gives no usable hint (detection ends fled)."""
+
+
+class HighwayCoverage:
+    """The paper's model: equal-length segments along one axis."""
+
+    def __init__(self, highway: Highway) -> None:
+        self.highway = highway
+
+    @property
+    def num_clusters(self) -> int:
+        return self.highway.num_clusters
+
+    def cluster_at(self, position: Position) -> int | None:
+        x = position[0]
+        if not self.highway.contains_x(x):
+            return None
+        return self.highway.cluster_index_at(x)
+
+    def rsu_position(self, index: int) -> Position:
+        return self.highway.rsu_position(index)
+
+    def chase_target(self, index: int, direction: int) -> int | None:
+        target = index + (1 if direction >= 0 else -1)
+        if 1 <= target <= self.num_clusters:
+            return target
+        return None
+
+
+class GridCoverage:
+    """Urban model: RSUs at chosen intersections, nearest-RSU clusters.
+
+    Parameters
+    ----------
+    grid:
+        The street grid.
+    rsu_intersections:
+        Integer grid coordinates of the intersections hosting RSUs;
+        cluster ``k`` (1-based) is the k-th entry.
+    radio_range:
+        Positions farther than this from every RSU are uncovered.
+    """
+
+    def __init__(
+        self,
+        grid: UrbanGrid,
+        rsu_intersections: list[tuple[int, int]],
+        *,
+        radio_range: float = 1000.0,
+    ) -> None:
+        if not rsu_intersections:
+            raise ValueError("urban coverage needs at least one RSU")
+        self.grid = grid
+        self.radio_range = radio_range
+        self._positions = [grid.intersection(ix, iy) for ix, iy in rsu_intersections]
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self._positions)
+
+    def cluster_at(self, position: Position) -> int | None:
+        if not self.grid.contains(position):
+            return None
+        best_index, best_distance = None, None
+        for index, (rx, ry) in enumerate(self._positions, start=1):
+            distance = ((position[0] - rx) ** 2 + (position[1] - ry) ** 2) ** 0.5
+            if best_distance is None or distance < best_distance:
+                best_index, best_distance = index, distance
+        if best_distance is None or best_distance > self.radio_range:
+            return None
+        return best_index
+
+    def rsu_position(self, index: int) -> Position:
+        if not 1 <= index <= self.num_clusters:
+            raise ValueError(f"cluster index {index} out of range")
+        return self._positions[index - 1]
+
+    def chase_target(self, index: int, direction: int) -> int | None:
+        # A 1-D direction carries no information on a grid; urban
+        # detection continuation is future work, matching the paper.
+        return None

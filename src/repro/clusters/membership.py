@@ -1,0 +1,66 @@
+"""Cluster-head membership and history tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemberRecord:
+    """What a CH knows about one member vehicle."""
+
+    address: str
+    joined_at: float
+    speed: float = 0.0
+    position: tuple[float, float] = (0.0, 0.0)
+    direction: int = 1
+    left_at: float | None = None
+
+
+@dataclass
+class MembershipTable:
+    """Current members plus the history of departed ones.
+
+    The member table is the CH's "routing table" in the paper's detection
+    narrative: the examining CH "searches for Node v_B in its routing
+    table" to decide whether it can probe the suspect locally.
+    """
+
+    members: dict[str, MemberRecord] = field(default_factory=dict)
+    history: dict[str, MemberRecord] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def join(self, record: MemberRecord) -> None:
+        """Admit (or refresh) a member."""
+        self.members[record.address] = record
+        self.history.pop(record.address, None)
+
+    def leave(self, address: str, now: float) -> MemberRecord | None:
+        """Move a member to history; returns the record if it existed."""
+        record = self.members.pop(address, None)
+        if record is not None:
+            record.left_at = now
+            self.history[record.address] = record
+        return record
+
+    def is_member(self, address: str) -> bool:
+        return address in self.members
+
+    def was_member(self, address: str) -> bool:
+        return address in self.history
+
+    def get(self, address: str) -> MemberRecord | None:
+        return self.members.get(address)
+
+    def prune_history(self, now: float, max_age: float) -> int:
+        """Forget members that left more than ``max_age`` seconds ago."""
+        stale = [
+            a
+            for a, r in self.history.items()
+            if r.left_at is not None and now - r.left_at > max_age
+        ]
+        for address in stale:
+            del self.history[address]
+        return len(stale)

@@ -1,0 +1,33 @@
+"""Cluster management packets (JREQ / JREP / leave)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packets import Packet
+
+
+@dataclass
+class JoinRequest(Packet):
+    """JREQ — sent (or broadcast, from an overlapped zone) by a vehicle
+    entering a road segment.  Carries what the paper lists: "vehicle's
+    identity, speed, position and direction"."""
+
+    speed: float = 0.0
+    position: tuple[float, float] = (0.0, 0.0)
+    direction: int = 1
+
+
+@dataclass
+class JoinReply(Packet):
+    """JREP — the accepting cluster head's answer.  Contains "information
+    such as the cluster head identity to be included in the packets"."""
+
+    cluster_head: str = ""
+    cluster_index: int = 0
+
+
+@dataclass
+class LeaveNotice(Packet):
+    """Sent by a vehicle exiting the cluster; the CH moves the member
+    from its routing table to its history table."""

@@ -1,0 +1,54 @@
+"""BlackDP: the paper's primary contribution.
+
+The protocol has two phases, split across the two node roles:
+
+**Vehicle side** (:class:`~repro.core.verifier.RouteVerifier`) — *source
+and destination verification*: after route discovery, authenticate the
+secure RREP, and when an intermediate node answered, probe the route
+with an authenticated Hello to the destination.  A route that fails
+verification turns the replier into a suspect, reported to the cluster
+head in a detection request ``d_req = <v_i, v_i^cy, v_B, v_B^cy>``.
+
+**RSU side** (:class:`~repro.core.examiner.DetectionService`) —
+*suspicious node examination* and *isolation*: the CH records the
+request in its verification table, locates the suspect (forwarding the
+request over the RSU backbone when it lives in another cluster), probes
+it under a disposable identity with fake route requests whose
+destination does not exist, confirms the AODV violation with a second,
+higher-sequence probe, chases a disclosed teammate the same way, and
+finally revokes the attacker's certificate through the trusted
+authority, notifies adjacent cluster heads and warns member vehicles.
+
+``install_verifier`` equips an honest vehicle; ``install_detection``
+equips an RSU; :class:`~repro.core.config.BlackDpConfig` holds the
+protocol's timeouts and limits.
+"""
+
+from repro.core.accounting import DetectionRecord
+from repro.core.config import BlackDpConfig
+from repro.core.examiner import DetectionService, install_detection
+from repro.core.packets import (
+    DetectionRequest,
+    DetectionResult,
+    HelloReply,
+    MemberWarning,
+    RevocationNoticePacket,
+    SecureHello,
+)
+from repro.core.verifier import RouteVerifier, VerificationOutcome, install_verifier
+
+__all__ = [
+    "BlackDpConfig",
+    "DetectionRecord",
+    "DetectionRequest",
+    "DetectionResult",
+    "DetectionService",
+    "HelloReply",
+    "MemberWarning",
+    "RevocationNoticePacket",
+    "RouteVerifier",
+    "SecureHello",
+    "VerificationOutcome",
+    "install_detection",
+    "install_verifier",
+]

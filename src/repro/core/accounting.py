@@ -1,0 +1,61 @@
+"""Detection-packet accounting (the Figure 5 measurement).
+
+The paper counts the packets a detection needs "through RSU (CH)": the
+detection request, any CH-to-CH forwards, every probe request/reply
+exchanged with the suspect (and teammate), and the verdict report.  The
+radio relay of a verdict from the reporter's own CH to the reporter is
+part of normal cluster traffic and is not counted, matching the paper's
+totals (6 for a fully-responding same-cluster attacker, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DetectionRecord:
+    """The outcome and cost of one completed detection case."""
+
+    suspect: str
+    verdict: str
+    packets: int
+    cooperative_with: list[str] = field(default_factory=list)
+    reporter: str = ""
+    reporter_cluster: int = 0
+    examined_by: list[int] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: itemised packet log: (packet label, running total)
+    breakdown: list[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def is_conviction(self) -> bool:
+        return self.verdict == "black-hole"
+
+
+class PacketLedger:
+    """Counts detection packets for one case, with an itemised breakdown.
+
+    >>> ledger = PacketLedger()
+    >>> ledger.count("d_req")
+    1
+    >>> ledger.count("RREQ_1")
+    2
+    >>> ledger.total
+    2
+    """
+
+    def __init__(self, start: int = 0, breakdown: list[str] | None = None) -> None:
+        self.total = start
+        self.breakdown: list[str] = list(breakdown or [])
+
+    def count(self, label: str) -> int:
+        """Record one detection packet; returns the running total."""
+        self.total += 1
+        self.breakdown.append(label)
+        return self.total

@@ -1,0 +1,53 @@
+"""BlackDP protocol configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlackDpConfig:
+    """Timeouts and limits of the detection protocol.
+
+    Attributes
+    ----------
+    hello_timeout:
+        How long the originator waits for the destination's Hello reply
+        before suspecting the route.
+    second_discovery:
+        Whether a failed Hello triggers the paper's confirmation
+        re-discovery before reporting (disabling this is the single-probe
+        ablation).
+    probe_timeout:
+        How long the examining CH waits for each probe reply.
+    inter_probe_delay:
+        Pause between receiving RREP_1 and sending RREQ_2 (and before the
+        teammate probe).  Zero by default; evasive-attacker experiments
+        raise it so a fleeing suspect can physically leave the cluster
+        between probes, as in the paper's 8/9-packet scenarios.
+    probe_retries:
+        Extra RREQ_1 sends when a probe times out (the paper's "needs to
+        confirm the misbehaving" retry).
+    max_continuation_forwards:
+        How many times a part-finished detection may chase a fleeing
+        suspect into the next cluster.
+    result_timeout:
+        How long the reporting vehicle waits for the CH's verdict.
+    warn_newcomers:
+        Whether CHs push revocation warnings to newly joined vehicles.
+    """
+
+    hello_timeout: float = 1.0
+    second_discovery: bool = True
+    probe_timeout: float = 1.5
+    inter_probe_delay: float = 0.0
+    probe_retries: int = 1
+    max_continuation_forwards: int = 1
+    result_timeout: float = 60.0
+    warn_newcomers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.hello_timeout <= 0 or self.probe_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.probe_retries < 0 or self.max_continuation_forwards < 0:
+            raise ValueError("retry/forward limits must be non-negative")

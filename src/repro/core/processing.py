@@ -1,0 +1,114 @@
+"""RSU computation model and fog offloading (paper §III-C).
+
+The paper's stated limitation: "BlackDP requires RSUs to authenticate
+nodes that report suspicious activities ... The authentication
+processing time may create a bottleneck when the density of the cluster
+is very high", with fog computing proposed as the fix ("forward heavy
+computation to nearby fog nodes").
+
+:class:`RsuProcessor` models the RSU as a single sequential core with a
+fixed per-operation service time; submitted work queues FIFO.  With fog
+enabled, work arriving while the local queue is at or beyond the
+offload threshold is dispatched to a fog node instead: a fixed network
+round-trip, but effectively parallel capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class ProcessorStats:
+    """What the congestion ablation measures."""
+
+    processed_locally: int = 0
+    offloaded: int = 0
+    total_wait: float = 0.0
+    max_wait: float = 0.0
+    max_queue: int = 0
+    waits: list[float] = field(default_factory=list)
+
+    @property
+    def operations(self) -> int:
+        return self.processed_locally + self.offloaded
+
+    @property
+    def mean_wait(self) -> float:
+        return self.total_wait / self.operations if self.operations else 0.0
+
+
+class RsuProcessor:
+    """A single-core FIFO compute model with optional fog offload.
+
+    Parameters
+    ----------
+    simulator:
+        Event loop used to model processing delay.
+    service_time:
+        Seconds of CPU one authentication/verification operation costs
+        (ECDSA verify on roadside hardware: a few milliseconds).
+    fog_enabled / fog_latency:
+        Whether overflow work is offloaded, and the fog round-trip time.
+    offload_threshold:
+        Local queue depth at which new work overflows to the fog.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        service_time: float = 0.005,
+        fog_enabled: bool = False,
+        fog_latency: float = 0.02,
+        offload_threshold: int = 4,
+    ) -> None:
+        if service_time <= 0:
+            raise ValueError("service_time must be positive")
+        if offload_threshold < 1:
+            raise ValueError("offload_threshold must be at least 1")
+        self.sim = simulator
+        self.service_time = service_time
+        self.fog_enabled = fog_enabled
+        self.fog_latency = fog_latency
+        self.offload_threshold = offload_threshold
+        self.stats = ProcessorStats()
+        self._busy_until = 0.0
+        self._queued = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Operations currently waiting for (or in) local service."""
+        return self._queued
+
+    def submit(self, action: Callable[[], None], *, label: str = "auth") -> None:
+        """Run ``action`` after this operation's compute completes."""
+        now = self.sim.now
+        if self.fog_enabled and self._queued >= self.offload_threshold:
+            self.stats.offloaded += 1
+            wait = self.fog_latency
+            self._record_wait(wait)
+            self.sim.schedule(wait, action, label=f"fog {label}")
+            return
+        start = max(now, self._busy_until)
+        finish = start + self.service_time
+        self._busy_until = finish
+        wait = finish - now
+        self._queued += 1
+        self.stats.processed_locally += 1
+        self.stats.max_queue = max(self.stats.max_queue, self._queued)
+        self._record_wait(wait)
+
+        def complete() -> None:
+            self._queued -= 1
+            action()
+
+        self.sim.schedule(wait, complete, label=f"cpu {label}")
+
+    def _record_wait(self, wait: float) -> None:
+        self.stats.total_wait += wait
+        self.stats.max_wait = max(self.stats.max_wait, wait)
+        self.stats.waits.append(wait)

@@ -1,0 +1,192 @@
+"""Infrastructure watchdog: closing the stealth-gray-hole gap (extension).
+
+BlackDP's probes convict *routing-layer* violations; a stealth gray hole
+that routes honestly and only drops data in transit never commits one.
+The paper's trust argument still applies though: peer watchdogs are
+unreliable (votes can be polluted, churn launders reputation), but the
+*cluster head* is a trusted observer whose radio footprint covers its
+entire cluster.  This module puts the watchdog on the RSU:
+
+- the RSU listens promiscuously (``Network.add_monitor``) and records
+  every data packet addressed to a member as a *forwarding obligation*
+  (the member is a transit hop, not the final destination),
+- an obligation is discharged when the member is overheard transmitting
+  the corresponding packet onward within a grace window,
+- members whose discharge ratio drops below a threshold — with a
+  minimum sample size, so a single collision cannot convict — are
+  reported to the detection service as forwarding violators and
+  isolated exactly like black holes (verdict ``gray-hole``).
+
+Because only the trusted CH observes and decides, the peer-voting
+failure modes (§V-C) never arise; and because the evidence is the
+member's own observed behaviour, honest forwarders cannot be framed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.accounting import DetectionRecord, PacketLedger
+from repro.routing.packets import DataPacket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.examiner import DetectionService
+
+#: Verdict string for forwarding-plane convictions.
+VERDICT_GRAY_HOLE = "gray-hole"
+
+
+@dataclass
+class _Obligation:
+    """One overheard hand-off awaiting the onward transmission."""
+
+    member: str
+    originator: str
+    final_destination: str
+    hops_travelled: int
+    deadline: float
+
+
+@dataclass
+class ForwardingLedger:
+    """Per-member forwarding observations."""
+
+    observed: int = 0
+    forwarded: int = 0
+    dropped: int = 0
+
+    @property
+    def ratio(self) -> float:
+        settled = self.forwarded + self.dropped
+        return self.forwarded / settled if settled else 1.0
+
+
+@dataclass
+class WatchdogConfig:
+    """Observation thresholds.
+
+    Attributes
+    ----------
+    grace:
+        Seconds a member has to be overheard forwarding a packet.
+    min_samples:
+        Settled observations required before any judgement.
+    ratio_threshold:
+        Members whose forward ratio falls below this are convicted.
+    """
+
+    grace: float = 0.5
+    min_samples: int = 8
+    ratio_threshold: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.grace <= 0:
+            raise ValueError("grace must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        if not 0.0 < self.ratio_threshold <= 1.0:
+            raise ValueError("ratio_threshold must be in (0, 1]")
+
+
+class InfrastructureWatchdog:
+    """Forwarding-plane observation attached to one RSU's detection
+    service."""
+
+    def __init__(
+        self,
+        service: "DetectionService",
+        config: WatchdogConfig | None = None,
+    ) -> None:
+        self.service = service
+        self.rsu = service.rsu
+        self.config = config or WatchdogConfig()
+        self.ledgers: dict[str, ForwardingLedger] = {}
+        self._pending: list[_Obligation] = []
+        self.convicted: set[str] = set()
+        if self.rsu.network is None:
+            raise RuntimeError("RSU must be attached before the watchdog")
+        self.rsu.network.add_monitor(self.rsu, self._on_overhear)
+
+    def stop(self) -> None:
+        if self.rsu.network is not None:
+            self.rsu.network.remove_monitor(self.rsu)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def _on_overhear(self, packet, sender: str, intended: str) -> None:
+        if not isinstance(packet, DataPacket):
+            return
+        self._discharge(packet, sender)
+        self._record_obligation(packet, intended)
+
+    def _record_obligation(self, packet: DataPacket, intended: str) -> None:
+        """A transit data packet was handed to one of our members."""
+        if intended == packet.final_destination:
+            return  # final delivery: nothing to forward
+        if not self.rsu.membership.is_member(intended):
+            return
+        if intended in self.convicted:
+            return
+        obligation = _Obligation(
+            member=intended,
+            originator=packet.originator,
+            final_destination=packet.final_destination,
+            hops_travelled=packet.hops_travelled,
+            deadline=self.rsu.sim.now + self.config.grace,
+        )
+        self._pending.append(obligation)
+        self.ledgers.setdefault(intended, ForwardingLedger()).observed += 1
+        self.rsu.sim.schedule(
+            self.config.grace,
+            lambda: self._expire(obligation),
+            label="watchdog grace",
+        )
+
+    def _discharge(self, packet: DataPacket, sender: str) -> None:
+        """The onward copy of an obligated packet was overheard."""
+        for index, obligation in enumerate(self._pending):
+            if (
+                obligation.member == sender
+                and obligation.originator == packet.originator
+                and obligation.final_destination == packet.final_destination
+                and packet.hops_travelled == obligation.hops_travelled + 1
+            ):
+                del self._pending[index]
+                self.ledgers[sender].forwarded += 1
+                return
+
+    def _expire(self, obligation: _Obligation) -> None:
+        if obligation not in self._pending:
+            return  # discharged in time
+        self._pending.remove(obligation)
+        ledger = self.ledgers[obligation.member]
+        ledger.dropped += 1
+        self._judge(obligation.member, ledger)
+
+    # ------------------------------------------------------------------
+    # Judgement
+    # ------------------------------------------------------------------
+    def _judge(self, member: str, ledger: ForwardingLedger) -> None:
+        settled = ledger.forwarded + ledger.dropped
+        if member in self.convicted or settled < self.config.min_samples:
+            return
+        if ledger.ratio >= self.config.ratio_threshold:
+            return
+        self.convicted.add(member)
+        self._convict(member, ledger)
+
+    def _convict(self, member: str, ledger: ForwardingLedger) -> None:
+        """Hand the forwarding violator to the isolation machinery."""
+        record = self.service.convict_forwarding_violator(
+            member,
+            evidence=(
+                f"forwarded {ledger.forwarded}/{ledger.forwarded + ledger.dropped}"
+                f" observed transit packets"
+            ),
+        )
+        self.rsu.sim.logger.warning(
+            self.rsu.node_id,
+            f"watchdog convicted {member}: {record.breakdown[0]}",
+        )

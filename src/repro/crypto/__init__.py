@@ -1,0 +1,46 @@
+"""Simulated public-key infrastructure for the BlackDP reproduction.
+
+The paper assumes IEEE 1609.2 security services: a Trusted Authority (TA)
+issues certificates binding temporary pseudonymous identities to public
+keys, nodes sign RREP/Hello packets with ECDSA, and the TA can revoke
+certificates of detected attackers.
+
+This package substitutes real elliptic-curve cryptography with a
+*simulation oracle* built on ``hashlib``/``hmac`` (see DESIGN.md §2):
+
+- key pairs are deterministic; the private key is derived from the public
+  key through a module-private secret that models "the mathematics" of
+  the scheme,
+- ``sign``/``verify`` behave exactly like a signature scheme from the
+  protocol's point of view: a signature binds a message to a key pair,
+  verification fails on any tampering, and producing a signature requires
+  holding the :class:`~repro.crypto.keys.PrivateKey` object.
+
+Attacker code in :mod:`repro.attacks` only ever holds its *own* private
+keys, so unforgeability holds inside the simulation even though the
+scheme is not cryptographically hard.  Everything the detection protocol
+relies on — identity binding, tamper evidence, revocability, pseudonym
+renewal — is preserved.
+"""
+
+from repro.crypto.authority import TrustedAuthority, TrustedAuthorityNetwork
+from repro.crypto.certificates import Certificate, CertificateError
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, generate_keypair, sign, verify
+from repro.crypto.pseudonyms import PseudonymManager
+from repro.crypto.revocation import RevocationEntry, RevocationList
+
+__all__ = [
+    "Certificate",
+    "CertificateError",
+    "KeyPair",
+    "PrivateKey",
+    "PseudonymManager",
+    "PublicKey",
+    "RevocationEntry",
+    "RevocationList",
+    "TrustedAuthority",
+    "TrustedAuthorityNetwork",
+    "generate_keypair",
+    "sign",
+    "verify",
+]

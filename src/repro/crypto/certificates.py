@@ -1,0 +1,107 @@
+"""Certificates binding pseudonymous identities to public keys.
+
+Modelled on the IEEE 1609.2 certificates the paper assumes: a certificate
+carries the holder's temporary pseudonymous identification (*id*), its
+public key, a serial number, validity window and the issuing TA's
+signature over the canonical encoding of those fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import PublicKey, verify
+
+
+class CertificateError(ValueError):
+    """Raised when a certificate fails structural validation."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An issued certificate.
+
+    Attributes
+    ----------
+    subject_id:
+        The holder's temporary pseudonymous identity (paper: *id*).
+    public_key:
+        The holder's public key.
+    serial:
+        TA-assigned serial number, unique per TA network; revocation
+        notices reference it.
+    issued_at / expires_at:
+        Validity window in simulation seconds.
+    issuer_id:
+        Identity of the issuing trusted authority.
+    signature:
+        TA signature over :meth:`signed_payload`.
+    role:
+        ``"vehicle"`` for ordinary nodes, ``"rsu"`` for trusted roadside
+        infrastructure.  Covered by the signature, so a vehicle cannot
+        claim infrastructure trust.
+    """
+
+    subject_id: str
+    public_key: PublicKey
+    serial: int
+    issued_at: float
+    expires_at: float
+    issuer_id: str
+    signature: bytes
+    role: str = "vehicle"
+
+    def __post_init__(self) -> None:
+        if self.expires_at <= self.issued_at:
+            raise CertificateError(
+                f"certificate lifetime is empty: issued_at={self.issued_at} "
+                f"expires_at={self.expires_at}"
+            )
+
+    def signed_payload(self) -> bytes:
+        """Canonical byte encoding of the fields covered by the signature."""
+        return certificate_payload(
+            self.subject_id,
+            self.public_key,
+            self.serial,
+            self.issued_at,
+            self.expires_at,
+            self.issuer_id,
+            self.role,
+        )
+
+    def is_expired(self, now: float) -> bool:
+        """True once the validity window has passed."""
+        return now >= self.expires_at
+
+    def verify_with(self, authority_key: PublicKey, now: float) -> bool:
+        """Full check a receiving node performs with the TA public key
+        (paper: "uses the authority public key to decrypt the certificate
+        and extract K+"): signature valid and not expired."""
+        if self.is_expired(now):
+            return False
+        return verify(authority_key, self.signed_payload(), self.signature)
+
+
+def certificate_payload(
+    subject_id: str,
+    public_key: PublicKey,
+    serial: int,
+    issued_at: float,
+    expires_at: float,
+    issuer_id: str,
+    role: str = "vehicle",
+) -> bytes:
+    """Canonical encoding shared by issuance and verification."""
+    return "|".join(
+        [
+            "cert-v1",
+            subject_id,
+            public_key.hex(),
+            str(serial),
+            repr(float(issued_at)),
+            repr(float(expires_at)),
+            issuer_id,
+            role,
+        ]
+    ).encode()

@@ -1,0 +1,100 @@
+"""Key pairs and the sign/verify primitives of the simulated PKI.
+
+The construction: a public key is an opaque 16-byte token; the matching
+private key is ``HMAC(ORACLE_SECRET, public)``.  Signing computes
+``HMAC(private, message)``.  Verification re-derives the private key from
+the public key through the oracle and recomputes the tag.
+
+``_ORACLE_SECRET`` stands in for the hardness of the discrete-log
+problem: simulation actors never touch it (it is module-private and not
+exported), so within the simulation only the holder of a
+:class:`PrivateKey` object can produce valid signatures for its public
+key — which is the only property BlackDP's authentication step needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from dataclasses import dataclass, field
+
+_ORACLE_SECRET = b"repro-blackdp-simulation-oracle-v1"
+_PUBLIC_KEY_BYTES = 16
+_SIGNATURE_BYTES = 32
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """An opaque public-key token, safe to embed in packets."""
+
+    token: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.token) != _PUBLIC_KEY_BYTES:
+            raise ValueError(
+                f"public key must be {_PUBLIC_KEY_BYTES} bytes, "
+                f"got {len(self.token)}"
+            )
+
+    def hex(self) -> str:
+        return self.token.hex()
+
+    def __repr__(self) -> str:  # short form for logs
+        return f"PublicKey({self.token[:4].hex()}…)"
+
+
+@dataclass(frozen=True, repr=False)
+class PrivateKey:
+    """The signing half of a key pair.
+
+    Holding this object *is* the capability to sign; protocol code must
+    never ship it inside a packet.
+    """
+
+    secret: bytes = field()
+
+    def __repr__(self) -> str:
+        return "PrivateKey(<hidden>)"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A public/private pair as issued to one identity."""
+
+    public: PublicKey
+    private: PrivateKey
+
+
+def _derive_private(public: PublicKey) -> bytes:
+    return hmac.new(_ORACLE_SECRET, public.token, hashlib.sha256).digest()
+
+
+def generate_keypair(rng: random.Random) -> KeyPair:
+    """Generate a key pair from the given random stream.
+
+    Deterministic per stream state, so whole experiments replay from a
+    single root seed.
+    """
+    token = rng.randbytes(_PUBLIC_KEY_BYTES)
+    public = PublicKey(token)
+    return KeyPair(public, PrivateKey(_derive_private(public)))
+
+
+def sign(private: PrivateKey, message: bytes) -> bytes:
+    """Sign ``message``; the digest-then-MAC models hash-and-sign ECDSA."""
+    digest = hashlib.sha256(message).digest()
+    return hmac.new(private.secret, digest, hashlib.sha256).digest()
+
+
+def verify(public: PublicKey, message: bytes, signature: bytes) -> bool:
+    """Check that ``signature`` was produced over ``message`` by the
+    private key matching ``public``.  Constant-time comparison, and never
+    raises on malformed input — a garbage signature simply fails."""
+    if not isinstance(signature, (bytes, bytearray)):
+        return False
+    if len(signature) != _SIGNATURE_BYTES:
+        return False
+    digest = hashlib.sha256(message).digest()
+    expected = hmac.new(_derive_private(public), digest, hashlib.sha256).digest()
+    return hmac.compare_digest(expected, bytes(signature))

@@ -1,0 +1,32 @@
+"""Experiment harness: Table I configuration, trial runner and the
+regenerators for every table/figure in the paper's evaluation.
+
+- :mod:`repro.experiments.world` — builds the full simulated highway
+  (RSUs + detection, TAs, vehicles + verifiers, attackers).
+- :mod:`repro.experiments.trial` — one seeded trial: a source establishes
+  a verified route while an attacker (or none) interferes.
+- :mod:`repro.experiments.figure4` — detection accuracy / FP / FN versus
+  attacker cluster, single and cooperative (Figure 4).
+- :mod:`repro.experiments.figure5` — detection packet counts per
+  scenario (Figure 5).
+- :mod:`repro.experiments.sweeps` — ablations: probe design, baseline
+  comparison, overhead versus density.
+
+Run from the command line::
+
+    python -m repro.experiments figure4 --trials 30
+    python -m repro.experiments figure5
+"""
+
+from repro.experiments.config import TableIConfig, TrialConfig
+from repro.experiments.trial import TrialResult, run_trial
+from repro.experiments.world import World, build_world
+
+__all__ = [
+    "TableIConfig",
+    "TrialConfig",
+    "TrialResult",
+    "World",
+    "build_world",
+    "run_trial",
+]

@@ -1,0 +1,163 @@
+"""Command-line entry point for the reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments figure4 [--trials N] [--attacks single,cooperative]
+    python -m repro.experiments figure5
+    python -m repro.experiments ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import ATTACK_TYPES, TableIConfig
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    table = TableIConfig()
+    print("Table I — simulation parameters")
+    print(f"{'Parameter':<20} Value")
+    for name, value in table.rows():
+        print(f"{name:<20} {value}")
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from repro.experiments.figure4 import (
+        check_expected_shape,
+        format_figure4,
+        run_figure4,
+    )
+
+    attacks = tuple(args.attacks.split(","))
+    for attack in attacks:
+        if attack not in ATTACK_TYPES:
+            print(f"unknown attack type {attack!r}", file=sys.stderr)
+            return 2
+    rows = run_figure4(trials=args.trials, attacks=attacks)
+    print(format_figure4(rows))
+    problems = check_expected_shape(rows)
+    if problems:
+        print("\nshape violations versus the paper:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nshape matches the paper: 100% w/ zero FP/FN in clusters 1-7, "
+          "degradation in the renewal zone 8-10, zero FP everywhere")
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    from repro.experiments.figure5 import format_figure5, run_figure5
+
+    rows = run_figure5()
+    print(format_figure5(rows))
+    return 0 if all(row.matches_paper for row in rows) else 1
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import (
+        format_comparison,
+        format_overhead,
+        format_probe_ablation,
+        run_baseline_comparison,
+        run_overhead_sweep,
+        run_probe_ablation,
+    )
+
+    from repro.experiments.congestion import format_congestion, run_congestion_sweep
+    from repro.experiments.pdr import format_pdr, run_pdr
+
+    print(format_comparison(run_baseline_comparison()))
+    print()
+    print(format_probe_ablation(run_probe_ablation()))
+    print()
+    print(format_overhead(run_overhead_sweep()))
+    print()
+    print(format_congestion(run_congestion_sweep()))
+    print()
+    print(format_pdr(run_pdr()))
+    return 0
+
+
+def _cmd_urban(args: argparse.Namespace) -> int:
+    from repro.experiments.urban import run_urban_trial
+
+    result = run_urban_trial(seed=args.seed)
+    print("Urban-topology detection (paper future work)")
+    print(f"  attacker detected: {result.detected}")
+    print(f"  false positives:   {result.false_positive}")
+    print(f"  verdicts:          {result.verdicts}")
+    print(f"  detection packets: {result.packets}")
+    return 0 if result.detected and not result.false_positive else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    result = generate_report(args.out, trials=args.trials)
+    print(f"report written to {result.report_path}")
+    for path in result.csv_paths:
+        print(f"  csv: {path}")
+    if result.failures:
+        print("shape failures:")
+        for failure in result.failures:
+            print(f"  - {failure}")
+    return 0 if result.passed else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.scenario_file import (
+        ScenarioError,
+        load_scenario,
+        run_scenario,
+    )
+
+    try:
+        scenario = load_scenario(args.config)
+    except (ScenarioError, OSError) as error:
+        print(f"cannot load scenario: {error}", file=sys.stderr)
+        return 2
+    outcome = run_scenario(scenario)
+    print(outcome.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="BlackDP reproduction experiments (ICDCS 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="print Table I").set_defaults(func=_cmd_table1)
+    figure4 = sub.add_parser("figure4", help="regenerate Figure 4")
+    figure4.add_argument("--trials", type=int, default=150)
+    figure4.add_argument("--attacks", default="single,cooperative")
+    figure4.set_defaults(func=_cmd_figure4)
+    sub.add_parser("figure5", help="regenerate Figure 5").set_defaults(
+        func=_cmd_figure5
+    )
+    sub.add_parser("ablations", help="run ablations A-D + PDR").set_defaults(
+        func=_cmd_ablations
+    )
+    urban = sub.add_parser("urban", help="urban-topology detection trial")
+    urban.add_argument("--seed", type=int, default=3)
+    urban.set_defaults(func=_cmd_urban)
+    report = sub.add_parser(
+        "report", help="run everything, write report.md + CSVs"
+    )
+    report.add_argument("--out", default="report")
+    report.add_argument("--trials", type=int, default=20)
+    report.set_defaults(func=_cmd_report)
+    run = sub.add_parser("run", help="run a JSON scenario file")
+    run.add_argument("--config", required=True)
+    run.set_defaults(func=_cmd_run)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Experiment configuration: the paper's Table I and per-trial settings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import BlackDpConfig
+from repro.mobility.highway import Highway
+
+#: Attack types a trial can run.
+ATTACK_NONE = "none"
+ATTACK_SINGLE = "single"
+ATTACK_COOPERATIVE = "cooperative"
+ATTACK_TYPES = (ATTACK_NONE, ATTACK_SINGLE, ATTACK_COOPERATIVE)
+
+
+@dataclass(frozen=True)
+class TableIConfig:
+    """Simulation parameters exactly as the paper's Table I.
+
+    | Parameter          | Value    |
+    |--------------------|----------|
+    | Vehicle speed      | 50-90 km |
+    | #Vehicles          | 100      |
+    | #RSUs (CHs)        | 10       |
+    | Transmission range | 1000 m   |
+    | Highway length     | 10 km    |
+    | Highway width      | 200 m    |
+    | Cluster length     | 1000 m   |
+    """
+
+    num_vehicles: int = 100
+    transmission_range: float = 1000.0
+    highway_length: float = 10_000.0
+    highway_width: float = 200.0
+    cluster_length: float = 1000.0
+    speed_min_kmh: float = 50.0
+    speed_max_kmh: float = 90.0
+    #: clusters in which attackers may renew certificates and behave
+    #: evasively (paper: "a set of clusters (e.g., cluster 8-10)")
+    renewal_zone: tuple[int, ...] = (8, 9, 10)
+    #: repetitions per experimental treatment (paper: 150)
+    trials: int = 150
+
+    def make_highway(self) -> Highway:
+        return Highway(
+            length=self.highway_length,
+            width=self.highway_width,
+            cluster_length=self.cluster_length,
+        )
+
+    @property
+    def num_rsus(self) -> int:
+        return self.make_highway().num_clusters
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Table I as printable rows."""
+        return [
+            ("Vehicle speed", f"{self.speed_min_kmh:.0f}-{self.speed_max_kmh:.0f}km"),
+            ("#Vehicles", str(self.num_vehicles)),
+            ("#RSUs (CHs)", str(self.num_rsus)),
+            ("Transmission range", f"{self.transmission_range:.0f}m"),
+            ("Highway length", f"{self.highway_length / 1000:.0f}km"),
+            ("Highway width", f"{self.highway_width:.0f}m"),
+            ("Cluster length", f"{self.cluster_length:.0f}m"),
+        ]
+
+
+@dataclass
+class TrialConfig:
+    """One seeded trial of the detection experiment."""
+
+    seed: int = 0
+    attack: str = ATTACK_SINGLE
+    attacker_cluster: int = 5
+    table: TableIConfig = field(default_factory=TableIConfig)
+    blackdp: BlackDpConfig = field(
+        default_factory=lambda: BlackDpConfig(inter_probe_delay=0.5)
+    )
+    #: explicit attacker policy; None samples by zone (aggressive outside
+    #: the renewal zone, evasive mix inside it)
+    policy: object = None
+    #: how long to keep simulating after the verification outcome so the
+    #: detection and isolation phases complete
+    settle_time: float = 40.0
+    warmup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.attack not in ATTACK_TYPES:
+            raise ValueError(
+                f"attack must be one of {ATTACK_TYPES}, got {self.attack!r}"
+            )
+        highway = self.table.make_highway()
+        if not 1 <= self.attacker_cluster <= highway.num_clusters:
+            raise ValueError(
+                f"attacker_cluster must be in [1, {highway.num_clusters}]"
+            )

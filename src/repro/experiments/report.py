@@ -1,0 +1,180 @@
+"""One-shot report generation: every experiment, rendered and saved.
+
+``generate_report`` runs the full evaluation (Figure 4, Figure 5, all
+ablations, PDR, the urban trial), renders ASCII charts, writes per-
+experiment CSVs, and produces a single markdown report with a
+paper-vs-measured verdict per experiment — the machine-written
+counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.metrics.plots import bar_chart, csv_rows, line_chart
+
+
+@dataclass
+class ReportResult:
+    """Where the report landed and whether every shape check passed."""
+
+    report_path: Path
+    csv_paths: list[Path]
+    passed: bool
+    failures: list[str]
+
+
+def figure4_chart(rows) -> str:
+    """Accuracy-vs-cluster line chart, one series per attack type."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        series.setdefault(row.attack, []).append((row.cluster, row.accuracy))
+    return line_chart(
+        series,
+        title="Figure 4 — detection accuracy vs attacker cluster",
+        y_min=0.0,
+        y_max=1.0,
+    )
+
+
+def figure5_chart(rows) -> str:
+    """Detection-packet bar chart per scenario."""
+    labels = [f"{row.attack}/{row.scenario}" for row in rows]
+    values = [float(row.packets) for row in rows]
+    return bar_chart(
+        labels,
+        values,
+        title="Figure 5 — detection packets per scenario",
+        value_format="{:.0f}",
+    )
+
+
+def figure4_csv(rows) -> str:
+    return csv_rows(
+        ["attack", "cluster", "trials", "accuracy", "tpr", "fpr", "fnr"],
+        [
+            (r.attack, r.cluster, r.trials, r.accuracy, r.true_positive_rate,
+             r.false_positive_rate, r.false_negative_rate)
+            for r in rows
+        ],
+    )
+
+
+def figure5_csv(rows) -> str:
+    return csv_rows(
+        ["attack", "scenario", "packets", "paper_expected", "verdict"],
+        [(r.attack, r.scenario, r.packets, r.expected, r.verdict) for r in rows],
+    )
+
+
+def pdr_csv(rows) -> str:
+    return csv_rows(
+        ["attack", "defense", "sent", "delivered", "pdr"],
+        [(r.attack, r.defense, r.sent, r.delivered, r.pdr) for r in rows],
+    )
+
+
+def congestion_csv(rows) -> str:
+    return csv_rows(
+        ["fog", "reports", "mean_latency", "max_latency", "offloaded", "max_queue"],
+        [
+            (r.fog, r.reports, r.mean_latency, r.p_max_latency, r.offloaded,
+             r.max_queue)
+            for r in rows
+        ],
+    )
+
+
+def generate_report(out_dir: str | Path, *, trials: int = 20) -> ReportResult:
+    """Run everything and write ``report.md`` plus CSVs into ``out_dir``.
+
+    ``trials`` scales Figure 4 (the paper used 150); everything else is
+    deterministic.
+    """
+    from repro.experiments.congestion import format_congestion, run_congestion_sweep
+    from repro.experiments.figure4 import (
+        check_expected_shape,
+        format_figure4,
+        run_figure4,
+    )
+    from repro.experiments.figure5 import format_figure5, run_figure5
+    from repro.experiments.pdr import format_pdr, run_pdr
+    from repro.experiments.sweeps import (
+        format_comparison,
+        format_probe_ablation,
+        run_baseline_comparison,
+        run_probe_ablation,
+    )
+    from repro.experiments.urban import run_urban_trial
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    failures: list[str] = []
+    csv_paths: list[Path] = []
+
+    def save_csv(name: str, content: str) -> None:
+        path = out / name
+        path.write_text(content)
+        csv_paths.append(path)
+
+    sections: list[str] = ["# BlackDP reproduction report", ""]
+
+    # Figure 4 --------------------------------------------------------
+    fig4 = run_figure4(trials=trials)
+    failures.extend(check_expected_shape(fig4))
+    save_csv("figure4.csv", figure4_csv(fig4))
+    sections += [
+        "## Figure 4", "```", figure4_chart(fig4), "",
+        format_figure4(fig4), "```", "",
+    ]
+
+    # Figure 5 --------------------------------------------------------
+    fig5 = run_figure5()
+    for row in fig5:
+        if not row.matches_paper:
+            failures.append(
+                f"figure5 {row.attack}/{row.scenario}: {row.packets} != "
+                f"{row.expected}"
+            )
+    save_csv("figure5.csv", figure5_csv(fig5))
+    sections += ["## Figure 5", "```", figure5_chart(fig5), "",
+                 format_figure5(fig5), "```", ""]
+
+    # Ablations -------------------------------------------------------
+    comparison = run_baseline_comparison()
+    probe = run_probe_ablation()
+    congestion = run_congestion_sweep()
+    save_csv("congestion.csv", congestion_csv(congestion))
+    if probe.blackdp_false_positives:
+        failures.append("probe ablation: BlackDP produced false positives")
+    sections += [
+        "## Ablations", "```", format_comparison(comparison), "",
+        format_probe_ablation(probe), "", format_congestion(congestion),
+        "```", "",
+    ]
+
+    # PDR + urban -----------------------------------------------------
+    pdr = run_pdr()
+    save_csv("pdr.csv", pdr_csv(pdr))
+    urban = run_urban_trial()
+    if not urban.detected or urban.false_positive:
+        failures.append("urban trial: detection failed or false positive")
+    sections += [
+        "## PDR and urban extension", "```", format_pdr(pdr), "",
+        f"urban: detected={urban.detected} fp={urban.false_positive} "
+        f"packets={urban.packets}", "```", "",
+    ]
+
+    verdict = "PASS" if not failures else "FAIL"
+    sections += [f"## Verdict: {verdict}", ""]
+    for failure in failures:
+        sections.append(f"- {failure}")
+    report_path = out / "report.md"
+    report_path.write_text("\n".join(sections) + "\n")
+    return ReportResult(
+        report_path=report_path,
+        csv_paths=csv_paths,
+        passed=not failures,
+        failures=failures,
+    )

@@ -1,0 +1,179 @@
+"""One seeded detection trial.
+
+A trial reproduces the paper's experimental unit: a populated Table I
+highway, a source car near the beginning, a destination chosen so the
+attacker cannot have a genuine route to it, and (optionally) one single
+or cooperative black hole whose placement and behaviour are dictated by
+the treatment.  The source establishes a *verified* route; whatever
+detection that triggers runs to completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks import AttackerPolicy
+from repro.core.accounting import DetectionRecord
+from repro.core.verifier import VerificationOutcome
+from repro.experiments.config import (
+    ATTACK_COOPERATIVE,
+    ATTACK_NONE,
+    ATTACK_SINGLE,
+    TrialConfig,
+)
+from repro.experiments.world import World, build_world
+
+
+@dataclass
+class TrialResult:
+    """Everything Figure 4's classification needs from one trial."""
+
+    attack: str
+    attacker_cluster: int | None
+    policy_name: str
+    #: pseudonyms the attacker(s) used during the trial (incl. renewals)
+    attacker_addresses: set[str] = field(default_factory=set)
+    honest_addresses: set[str] = field(default_factory=set)
+    outcome: VerificationOutcome | None = None
+    records: list[DetectionRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived classifications
+    # ------------------------------------------------------------------
+    @property
+    def attack_present(self) -> bool:
+        return self.attack != ATTACK_NONE
+
+    @property
+    def convicted_addresses(self) -> set[str]:
+        convicted: set[str] = set()
+        for record in self.records:
+            if record.verdict == "black-hole":
+                convicted.add(record.suspect)
+                convicted.update(record.cooperative_with)
+        return convicted
+
+    @property
+    def detected(self) -> bool:
+        """True when at least one attacker pseudonym was convicted."""
+        return bool(self.convicted_addresses & self.attacker_addresses)
+
+    @property
+    def false_positive(self) -> bool:
+        """True when any *honest* pseudonym was convicted."""
+        return bool(self.convicted_addresses & self.honest_addresses)
+
+    @property
+    def attack_impeded(self) -> bool:
+        """True when the source never committed data to an attacker route
+        (the paper's prevention guarantee): either the route verified
+        through an honest path, or verification refused the route."""
+        if self.outcome is None:
+            return True
+        if not self.outcome.verified:
+            return True
+        route = self.outcome.route
+        return route is None or route.next_hop not in self.attacker_addresses
+
+    @property
+    def detection_packets(self) -> int | None:
+        """Packets of the (first) completed detection, Figure 5's metric."""
+        return self.records[0].packets if self.records else None
+
+
+#: Evasive-policy mix for the renewal zone (clusters 8-10).  Names are
+#: reported in results so failures can be attributed.
+_EVASIVE_POLICIES: list[tuple[str, AttackerPolicy, float]] = [
+    ("aggressive", AttackerPolicy.aggressive(), 0.5),
+    ("act-legit", AttackerPolicy.act_legitimately(), 0.15),
+    (
+        "renew-and-quiet",
+        AttackerPolicy(max_replies=1, renew_after_replies=1),
+        0.2,
+    ),
+    ("hit-and-run", AttackerPolicy(flee_after_replies=1, flee_speed=40.0), 0.15),
+]
+
+
+def sample_policy(config: TrialConfig, rng) -> tuple[str, AttackerPolicy]:
+    """Aggressive outside the renewal zone; weighted evasive mix inside."""
+    if config.policy is not None:
+        return ("explicit", config.policy)
+    if config.attacker_cluster not in config.table.renewal_zone:
+        return ("aggressive", AttackerPolicy.aggressive())
+    roll = rng.random()
+    cumulative = 0.0
+    for name, policy, weight in _EVASIVE_POLICIES:
+        cumulative += weight
+        if roll < cumulative:
+            return (name, policy)
+    return _EVASIVE_POLICIES[0][0], _EVASIVE_POLICIES[0][1]
+
+
+def choose_destination_cluster(config: TrialConfig) -> int:
+    """A cluster far enough from the attacker that the attacker cannot
+    hold a genuine route to the destination (paper's placement rule)."""
+    num = config.table.make_highway().num_clusters
+    attacker = config.attacker_cluster
+    if attacker >= num // 2 + 1:
+        return max(1, attacker - 4)
+    return min(num, attacker + 4)
+
+
+def run_trial(config: TrialConfig) -> TrialResult:
+    """Build the world, run the trial, and classify the outcome."""
+    world = build_world(seed=config.seed, config=config.blackdp)
+    rng = world.sim.rng("trial")
+    highway = world.highway
+
+    background = world.populate(
+        max(0, config.table.num_vehicles - 2),
+        speed_min_kmh=config.table.speed_min_kmh,
+        speed_max_kmh=config.table.speed_max_kmh,
+    )
+    source = world.add_vehicle("source", x=100.0, speed=0.0)
+    dest_cluster = choose_destination_cluster(config)
+    dest_start, dest_end = highway.cluster_bounds(dest_cluster)
+    destination = world.add_vehicle(
+        "destination", x=rng.uniform(dest_start + 50, dest_end - 50), speed=0.0
+    )
+
+    policy_name, attackers = "none", []
+    if config.attack != ATTACK_NONE:
+        policy_name, policy = sample_policy(config, rng)
+        cluster_start, cluster_end = highway.cluster_bounds(config.attacker_cluster)
+        attacker_x = rng.uniform(cluster_start + 50, cluster_end - 50)
+        if config.attack == ATTACK_SINGLE:
+            attackers = [
+                world.add_attacker("attacker-b1", attacker_x, policy=policy)
+            ]
+        else:
+            teammate_x = min(attacker_x + 400.0, cluster_end + 350.0)
+            attackers = list(
+                world.add_cooperative_pair(attacker_x, teammate_x, policy=policy)
+            )
+
+    result = TrialResult(
+        attack=config.attack,
+        attacker_cluster=config.attacker_cluster if attackers else None,
+        policy_name=policy_name,
+    )
+    for attacker in attackers:
+        result.attacker_addresses.add(attacker.address)
+
+    world.sim.run(until=config.warmup)
+
+    outcomes: list[VerificationOutcome] = []
+    world.verifiers["source"].establish_route(destination.address, outcomes.append)
+    world.sim.run(until=world.sim.now + config.settle_time)
+
+    # Attackers may have renewed pseudonyms during the trial.
+    for attacker in attackers:
+        result.attacker_addresses.add(attacker.address)
+    result.honest_addresses = {
+        vehicle.address
+        for vehicle in background + [source, destination]
+    }
+    result.outcome = outcomes[0] if outcomes else None
+    result.records = world.all_records()
+    return result

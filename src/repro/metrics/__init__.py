@@ -1,0 +1,19 @@
+"""Measurement: confusion matrices, rate summaries and packet statistics.
+
+Everything Figure 4 plots (detection accuracy, true/false positive and
+negative rates) reduces to a :class:`ConfusionMatrix` accumulated over
+trials; Figure 5 and the overhead ablations reduce to
+:class:`SeriesSummary` over per-detection packet counts and latencies.
+"""
+
+from repro.metrics.confusion import ConfusionMatrix
+from repro.metrics.intervals import Proportion, wilson_interval
+from repro.metrics.series import SeriesSummary, summarize
+
+__all__ = [
+    "ConfusionMatrix",
+    "Proportion",
+    "SeriesSummary",
+    "summarize",
+    "wilson_interval",
+]

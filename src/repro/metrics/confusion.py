@@ -1,0 +1,85 @@
+"""Binary-classification accounting for detection experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts of detection decisions against ground truth.
+
+    Convention: *positive* means "this node is a black hole attacker".
+
+    >>> m = ConfusionMatrix()
+    >>> m.record(predicted=True, actual=True)
+    >>> m.record(predicted=False, actual=True)
+    >>> m.true_positive_rate
+    0.5
+    """
+
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    def record(self, *, predicted: bool, actual: bool) -> None:
+        """Add one classification outcome."""
+        if actual and predicted:
+            self.tp += 1
+        elif actual and not predicted:
+            self.fn += 1
+        elif not actual and predicted:
+            self.fp += 1
+        else:
+            self.tn += 1
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total; 0.0 on an empty matrix."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def true_positive_rate(self) -> float:
+        """Recall: detected attacks over actual attacks."""
+        positives = self.tp + self.fn
+        return self.tp / positives if positives else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        positives = self.tp + self.fn
+        return self.fn / positives if positives else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        negatives = self.fp + self.tn
+        return self.fp / negatives if negatives else 0.0
+
+    @property
+    def precision(self) -> float:
+        flagged = self.tp + self.fp
+        return self.tp / flagged if flagged else 0.0
+
+    def merge(self, other: "ConfusionMatrix") -> None:
+        """Accumulate another matrix into this one."""
+        self.tp += other.tp
+        self.fp += other.fp
+        self.tn += other.tn
+        self.fn += other.fn
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat summary used by benchmark tables."""
+        return {
+            "tp": self.tp,
+            "fp": self.fp,
+            "tn": self.tn,
+            "fn": self.fn,
+            "accuracy": self.accuracy,
+            "tpr": self.true_positive_rate,
+            "fpr": self.false_positive_rate,
+            "fnr": self.false_negative_rate,
+        }

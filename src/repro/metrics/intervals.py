@@ -1,0 +1,71 @@
+"""Confidence intervals for detection-rate estimates.
+
+Figure 4's points are binomial proportions over 150 trials; reporting
+them without uncertainty invites over-reading single-trial wiggles.  The
+Wilson score interval is used (well-behaved at p near 0 and 1, exactly
+where detection rates live: 100 % accuracy rows and 0 % FP rows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: z for a 95 % two-sided interval.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Proportion:
+    """A binomial estimate with its Wilson interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def estimate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+def wilson_interval(successes: int, trials: int, z: float = Z_95) -> Proportion:
+    """Wilson score interval for a binomial proportion.
+
+    >>> p = wilson_interval(150, 150)
+    >>> p.estimate
+    1.0
+    >>> p.low > 0.97
+    True
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(
+            f"invalid proportion: {successes} successes of {trials} trials"
+        )
+    if trials == 0:
+        return Proportion(0, 0, 0.0, 1.0)
+    p_hat = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = (p_hat + z2 / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z2 / (4 * trials * trials))
+        / denominator
+    )
+    low = max(0.0, centre - margin)
+    high = min(1.0, centre + margin)
+    # Pin the degenerate boundaries exactly: a 0/n estimate's lower bound
+    # is 0 and an n/n estimate's upper bound is 1, and float rounding in
+    # the centre/margin arithmetic must not leak epsilons past them.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return Proportion(successes, trials, low=low, high=high)

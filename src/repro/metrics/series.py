@@ -1,0 +1,40 @@
+"""Summary statistics over per-trial measurement series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-ish summary of a measurement series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def band(self) -> tuple[float, float]:
+        """``(min, max)`` — the form the paper reports Figure 5 in."""
+        return (self.minimum, self.maximum)
+
+
+def summarize(values: Iterable[float]) -> SeriesSummary:
+    """Summarise a series; raises on empty input (an empty experiment is
+    a bug worth failing loudly on, not a row of NaNs)."""
+    data = list(values)
+    if not data:
+        raise ValueError("cannot summarise an empty series")
+    n = len(data)
+    mean = sum(data) / n
+    variance = sum((x - mean) ** 2 for x in data) / n
+    return SeriesSummary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(data),
+        maximum=max(data),
+    )

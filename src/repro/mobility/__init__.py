@@ -1,0 +1,34 @@
+"""Highway mobility substrate.
+
+Models the paper's evaluation scenario: a controlled-access highway of
+length 10 km and width 200 m, divided into equal 1000 m clusters with an
+RSU stationed at the centre of each, and vehicles travelling at constant
+individual speeds drawn from 50-90 km/h.
+
+Public API
+----------
+- :class:`~repro.mobility.highway.Highway` -- geometry and cluster math.
+- :class:`~repro.mobility.kinematics.VehicleMotion` -- piecewise-linear
+  1-D kinematics with speed changes.
+- :mod:`~repro.mobility.placement` -- random scenario placement helpers.
+"""
+
+from repro.mobility.highway import Highway
+from repro.mobility.kinematics import VehicleMotion, kmh_to_ms, ms_to_kmh
+from repro.mobility.placement import (
+    random_lane,
+    random_positions_in_cluster,
+    random_speed_kmh,
+    uniform_positions,
+)
+
+__all__ = [
+    "Highway",
+    "VehicleMotion",
+    "kmh_to_ms",
+    "ms_to_kmh",
+    "random_lane",
+    "random_positions_in_cluster",
+    "random_speed_kmh",
+    "uniform_positions",
+]

@@ -1,0 +1,110 @@
+"""Highway geometry and static clustering.
+
+The paper: "the highway is constructed of several static clusters with
+RSUs designated as cluster heads stationed centrally in each cluster ...
+if we have a highway of length l, then the least number of CHs required
+to cover the entire highway is p = l / r".  Cluster indices here are
+1-based to match the paper's figures (clusters 1-10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Highway:
+    """Geometry of the simulated highway.
+
+    Attributes
+    ----------
+    length:
+        Total length in metres (Table I: 10 000 m).
+    width:
+        Total width in metres (Table I: 200 m).
+    cluster_length:
+        Length of one static cluster (Table I: 1000 m).
+    lanes:
+        Number of traffic lanes spread across the width.
+    """
+
+    length: float = 10_000.0
+    width: float = 200.0
+    cluster_length: float = 1000.0
+    lanes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.width <= 0 or self.cluster_length <= 0:
+            raise ValueError("highway dimensions must be positive")
+        if self.lanes < 1:
+            raise ValueError("highway needs at least one lane")
+        if self.cluster_length > self.length:
+            raise ValueError("cluster_length cannot exceed highway length")
+
+    # ------------------------------------------------------------------
+    # Clusters
+    # ------------------------------------------------------------------
+    @property
+    def num_clusters(self) -> int:
+        """Least number of clusters covering the full length (paper: l/r)."""
+        return math.ceil(self.length / self.cluster_length - 1e-9)
+
+    def cluster_index_at(self, x: float) -> int:
+        """1-based cluster index containing longitudinal position ``x``."""
+        if not self.contains_x(x):
+            raise ValueError(f"x={x!r} is outside the highway [0, {self.length}]")
+        index = int(x // self.cluster_length) + 1
+        return min(index, self.num_clusters)
+
+    def cluster_bounds(self, index: int) -> tuple[float, float]:
+        """``(start, end)`` of the 1-based cluster ``index``."""
+        self._check_index(index)
+        start = (index - 1) * self.cluster_length
+        return start, min(start + self.cluster_length, self.length)
+
+    def cluster_center(self, index: int) -> float:
+        """Longitudinal centre of a cluster — where its RSU sits."""
+        start, end = self.cluster_bounds(index)
+        return (start + end) / 2.0
+
+    def rsu_position(self, index: int) -> tuple[float, float]:
+        """RSU coordinates: cluster centre, middle of the roadway."""
+        return (self.cluster_center(index), self.width / 2.0)
+
+    def covering_clusters(self, x: float, rsu_range: float) -> list[int]:
+        """Clusters whose RSU covers position ``x`` (1-based indices).
+
+        A vehicle in more than one RSU's footprint is in an *overlapped
+        zone* and must broadcast its join request to all covering cluster
+        heads.
+        """
+        covering = []
+        for index in range(1, self.num_clusters + 1):
+            if abs(self.cluster_center(index) - x) <= rsu_range:
+                covering.append(index)
+        return covering
+
+    def in_overlap_zone(self, x: float, rsu_range: float) -> bool:
+        """True when ``x`` is covered by at least two RSUs."""
+        return len(self.covering_clusters(x, rsu_range)) >= 2
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def contains_x(self, x: float) -> bool:
+        """True while ``x`` is on the highway."""
+        return 0.0 <= x <= self.length
+
+    def lane_y(self, lane: int) -> float:
+        """Lateral centre of 0-based ``lane``."""
+        if not 0 <= lane < self.lanes:
+            raise ValueError(f"lane must be in [0, {self.lanes}), got {lane}")
+        lane_width = self.width / self.lanes
+        return (lane + 0.5) * lane_width
+
+    def _check_index(self, index: int) -> None:
+        if not 1 <= index <= self.num_clusters:
+            raise ValueError(
+                f"cluster index must be in [1, {self.num_clusters}], got {index}"
+            )

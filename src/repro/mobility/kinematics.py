@@ -1,0 +1,109 @@
+"""Piecewise-linear vehicle kinematics.
+
+Positions are evaluated lazily from motion segments, so the simulator
+never needs a periodic "move everything" event: ``motion.x(t)`` is exact
+at any queried instant.  Speed changes append a new segment anchored at
+the change time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def kmh_to_ms(kmh: float) -> float:
+    """Convert km/h to m/s."""
+    return kmh / 3.6
+
+
+def ms_to_kmh(ms: float) -> float:
+    """Convert m/s to km/h."""
+    return ms * 3.6
+
+
+@dataclass
+class _Segment:
+    start_time: float
+    start_x: float
+    speed: float  # signed m/s; sign encodes direction
+
+
+@dataclass
+class VehicleMotion:
+    """1-D longitudinal motion along the highway plus a fixed lane offset.
+
+    Parameters
+    ----------
+    entry_time:
+        Simulation time the vehicle appears at ``entry_x``.
+    entry_x:
+        Longitudinal position at entry (metres).
+    speed:
+        Signed speed in m/s; positive travels towards increasing ``x``.
+    lane_y:
+        Fixed lateral coordinate.
+
+    >>> m = VehicleMotion(entry_time=0.0, entry_x=100.0, speed=20.0, lane_y=25.0)
+    >>> m.x(5.0)
+    200.0
+    >>> m.set_speed(5.0, 10.0)
+    >>> m.x(7.0)
+    220.0
+    """
+
+    entry_time: float
+    entry_x: float
+    speed: float
+    lane_y: float = 0.0
+    _segments: list[_Segment] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self._segments.append(_Segment(self.entry_time, self.entry_x, self.speed))
+
+    def _segment_at(self, t: float) -> _Segment:
+        if t < self.entry_time:
+            raise ValueError(
+                f"queried t={t} before entry_time={self.entry_time}"
+            )
+        current = self._segments[0]
+        for segment in self._segments[1:]:
+            if segment.start_time <= t:
+                current = segment
+            else:
+                break
+        return current
+
+    def x(self, t: float) -> float:
+        """Longitudinal position at time ``t``."""
+        segment = self._segment_at(t)
+        return segment.start_x + segment.speed * (t - segment.start_time)
+
+    def position(self, t: float) -> tuple[float, float]:
+        """Full ``(x, y)`` position at time ``t``."""
+        return (self.x(t), self.lane_y)
+
+    def speed_at(self, t: float) -> float:
+        """Signed speed in effect at time ``t``."""
+        return self._segment_at(t).speed
+
+    def set_speed(self, t: float, speed: float) -> None:
+        """Change speed at time ``t`` (must not precede the last change)."""
+        if self._segments and t < self._segments[-1].start_time:
+            raise ValueError(
+                f"speed changes must be chronological: {t} < "
+                f"{self._segments[-1].start_time}"
+            )
+        self._segments.append(_Segment(t, self.x(t), speed))
+
+    def time_to_reach(self, x_target: float, *, after: float) -> float | None:
+        """Earliest time ≥ ``after`` at which the vehicle reaches
+        ``x_target`` assuming the current last segment persists, or
+        ``None`` if it never will."""
+        x_now = self.x(after)
+        speed = self.speed_at(after)
+        remaining = x_target - x_now
+        if remaining == 0:
+            return after
+        if speed == 0 or (remaining > 0) != (speed > 0):
+            return None
+        return after + remaining / speed

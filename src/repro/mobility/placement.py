@@ -1,0 +1,48 @@
+"""Random scenario placement helpers.
+
+The paper places 100 vehicles "randomly distributed within the clusters"
+with speeds drawn from 50-90 km/h; the source car sits at the beginning
+of the highway and attackers are placed per-experiment.  These helpers
+produce those draws from a seeded stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mobility.highway import Highway
+
+#: Paper's vehicle speed band (Table I), km/h.
+SPEED_MIN_KMH = 50.0
+SPEED_MAX_KMH = 90.0
+
+
+def random_speed_kmh(
+    rng: random.Random,
+    low: float = SPEED_MIN_KMH,
+    high: float = SPEED_MAX_KMH,
+) -> float:
+    """Uniform speed draw in km/h from the Table I band."""
+    if low > high:
+        raise ValueError(f"empty speed band [{low}, {high}]")
+    return rng.uniform(low, high)
+
+
+def random_lane(rng: random.Random, highway: Highway) -> int:
+    """Uniform lane index draw."""
+    return rng.randrange(highway.lanes)
+
+
+def uniform_positions(rng: random.Random, highway: Highway, count: int) -> list[float]:
+    """``count`` longitudinal positions uniform over the whole highway."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [rng.uniform(0.0, highway.length) for _ in range(count)]
+
+
+def random_positions_in_cluster(
+    rng: random.Random, highway: Highway, cluster_index: int, count: int
+) -> list[float]:
+    """``count`` longitudinal positions uniform within one cluster."""
+    start, end = highway.cluster_bounds(cluster_index)
+    return [rng.uniform(start, end) for _ in range(count)]

@@ -1,0 +1,185 @@
+"""Urban grid topology and Manhattan mobility (paper future work).
+
+The paper's conclusion: "the proposed detection protocol does not yet
+account for an urban topology network".  This module provides that
+substrate: a Manhattan street grid with intersections where RSUs can be
+stationed, and a waypoint mobility model in which vehicles drive at
+constant speed along streets and turn randomly at intersections.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+Position = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class UrbanGrid:
+    """A rectangular Manhattan street grid.
+
+    Streets run at every multiple of ``block_length`` in both axes;
+    intersections are the grid points.  ``blocks_x`` × ``blocks_y``
+    blocks give ``(blocks_x + 1) × (blocks_y + 1)`` intersections.
+    """
+
+    blocks_x: int = 5
+    blocks_y: int = 5
+    block_length: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.blocks_x < 1 or self.blocks_y < 1:
+            raise ValueError("grid needs at least one block per axis")
+        if self.block_length <= 0:
+            raise ValueError("block_length must be positive")
+
+    @property
+    def width(self) -> float:
+        return self.blocks_x * self.block_length
+
+    @property
+    def height(self) -> float:
+        return self.blocks_y * self.block_length
+
+    def intersections(self) -> list[Position]:
+        """All grid points, row-major from the origin."""
+        return [
+            (ix * self.block_length, iy * self.block_length)
+            for iy in range(self.blocks_y + 1)
+            for ix in range(self.blocks_x + 1)
+        ]
+
+    def intersection(self, ix: int, iy: int) -> Position:
+        """Grid point at integer coordinates ``(ix, iy)``."""
+        if not (0 <= ix <= self.blocks_x and 0 <= iy <= self.blocks_y):
+            raise ValueError(f"intersection ({ix}, {iy}) outside the grid")
+        return (ix * self.block_length, iy * self.block_length)
+
+    def contains(self, position: Position) -> bool:
+        x, y = position
+        return 0.0 <= x <= self.width and 0.0 <= y <= self.height
+
+    def is_on_street(self, position: Position, tolerance: float = 1e-6) -> bool:
+        """True when the position lies on some street axis."""
+        if not self.contains(position):
+            return False
+        x, y = position
+        on_vertical = abs(x / self.block_length - round(x / self.block_length)) * self.block_length <= tolerance
+        on_horizontal = abs(y / self.block_length - round(y / self.block_length)) * self.block_length <= tolerance
+        return on_vertical or on_horizontal
+
+    def nearest_intersection(self, position: Position) -> tuple[int, int]:
+        """Integer grid coordinates of the closest intersection."""
+        x, y = position
+        ix = min(max(round(x / self.block_length), 0), self.blocks_x)
+        iy = min(max(round(y / self.block_length), 0), self.blocks_y)
+        return (int(ix), int(iy))
+
+    def neighbors_of_intersection(self, ix: int, iy: int) -> list[tuple[int, int]]:
+        """Adjacent intersections one block away."""
+        candidates = [(ix - 1, iy), (ix + 1, iy), (ix, iy - 1), (ix, iy + 1)]
+        return [
+            (cx, cy)
+            for cx, cy in candidates
+            if 0 <= cx <= self.blocks_x and 0 <= cy <= self.blocks_y
+        ]
+
+
+@dataclass(frozen=True)
+class _Leg:
+    """One constant-velocity segment of a Manhattan walk."""
+
+    start_time: float
+    end_time: float
+    start: Position
+    end: Position
+
+    def position(self, t: float) -> Position:
+        span = self.end_time - self.start_time
+        if span <= 0:
+            return self.end
+        fraction = min(max((t - self.start_time) / span, 0.0), 1.0)
+        return (
+            self.start[0] + (self.end[0] - self.start[0]) * fraction,
+            self.start[1] + (self.end[1] - self.start[1]) * fraction,
+        )
+
+
+class ManhattanMotion:
+    """Random-turn constant-speed motion over an :class:`UrbanGrid`.
+
+    The itinerary is precomputed (so positions are exact at any query
+    time and the walk is deterministic per RNG state): from a starting
+    intersection the vehicle repeatedly drives one block and picks a
+    random next direction, never immediately reversing unless at a dead
+    end.
+
+    Parameters
+    ----------
+    grid / rng:
+        The street grid and the seeded stream driving turn choices.
+    entry_time / start / speed:
+        When and where the walk starts (an intersection) and the
+        constant speed in m/s.
+    duration:
+        How much itinerary to precompute; the vehicle parks at its last
+        waypoint afterwards.
+    """
+
+    def __init__(
+        self,
+        grid: UrbanGrid,
+        rng: random.Random,
+        *,
+        entry_time: float,
+        start: tuple[int, int],
+        speed: float,
+        duration: float = 600.0,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError("urban motion needs a positive speed")
+        self.grid = grid
+        self.entry_time = entry_time
+        self._speed = speed
+        self.legs: list[_Leg] = []
+        self._build(rng, start, duration)
+
+    def _build(self, rng: random.Random, start: tuple[int, int], duration: float) -> None:
+        leg_seconds = self.grid.block_length / self._speed
+        now = self.entry_time
+        current = start
+        previous: tuple[int, int] | None = None
+        while now - self.entry_time < duration:
+            options = self.grid.neighbors_of_intersection(*current)
+            if previous is not None and len(options) > 1:
+                options = [o for o in options if o != previous]
+            nxt = rng.choice(options)
+            self.legs.append(
+                _Leg(
+                    start_time=now,
+                    end_time=now + leg_seconds,
+                    start=self.grid.intersection(*current),
+                    end=self.grid.intersection(*nxt),
+                )
+            )
+            previous = current
+            current = nxt
+            now += leg_seconds
+
+    def position(self, t: float) -> Position:
+        if t <= self.entry_time or not self.legs:
+            return self.legs[0].start if self.legs else (0.0, 0.0)
+        for leg in self.legs:
+            if t <= leg.end_time:
+                return leg.position(t)
+        return self.legs[-1].end
+
+    def speed_at(self, t: float) -> float:
+        if not self.legs or t >= self.legs[-1].end_time:
+            return 0.0  # parked at the end of the itinerary
+        return self._speed
+
+    @property
+    def exit_time(self) -> float:
+        return self.legs[-1].end_time if self.legs else self.entry_time

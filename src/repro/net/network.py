@@ -1,0 +1,305 @@
+"""The radio medium and the wired RSU backbone.
+
+Radio model: unit disk.  Two nodes can exchange packets iff their
+Euclidean distance is at most the *smaller* of their ranges, which makes
+links bidirectional — the paper's explicit network assumption ("Node A
+can hear Node B and Node B can hear Node A").
+
+Deliveries are scheduled events: a packet sent at *t* arrives at
+*t + per_hop_delay + jitter*.  Reachability is evaluated at send time;
+with millisecond latencies and highway speeds the position drift within
+one hop is millimetres, so this is exact for all practical purposes.
+
+The backbone is a :mod:`networkx` graph over RSU addresses; packets
+between connected RSUs take ``wired_hop_delay`` per backbone hop and
+ignore radio range entirely.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+import networkx as nx
+
+from repro.net.node import Node
+from repro.net.packets import Packet
+from repro.sim.simulator import Simulator
+
+#: Destination address meaning "every node in radio range".
+BROADCAST = "*"
+
+
+@dataclass
+class ChannelConfig:
+    """Tunable channel parameters.
+
+    Attributes
+    ----------
+    per_hop_delay:
+        Fixed one-hop radio latency in seconds (DSRC-class: ~2 ms).
+    jitter:
+        Uniform extra delay in ``[0, jitter]`` per delivery.
+    loss_rate:
+        Probability that any single wireless delivery is lost.
+    wired_hop_delay:
+        Latency per backbone hop between RSUs.
+    account_bytes:
+        When True, every transmitted packet is measured through the
+        binary wire codec and per-kind byte totals are accumulated in
+        the stats (costs one encode per send; off by default).
+    """
+
+    per_hop_delay: float = 0.002
+    jitter: float = 0.0005
+    loss_rate: float = 0.0
+    wired_hop_delay: float = 0.001
+    account_bytes: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.per_hop_delay < 0 or self.jitter < 0 or self.wired_hop_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+
+@dataclass
+class NetworkStats:
+    """Counters the metrics layer aggregates."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_out_of_range: int = 0
+    dropped_loss: int = 0
+    dropped_unknown_address: int = 0
+    backbone_sent: int = 0
+    backbone_delivered: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    bytes_sent: int = 0
+    bytes_by_kind: Counter = field(default_factory=Counter)
+
+
+class Network:
+    """The shared medium every node attaches to.
+
+    >>> from repro.sim import Simulator
+    >>> sim = Simulator(seed=1)
+    >>> net = Network(sim)
+    >>> a = Node(sim, "a", position=(0, 0)); net.attach(a)
+    >>> b = Node(sim, "b", position=(500, 0)); net.attach(b)
+    >>> a.send(Packet(src="a", dst="b")); sim.run()
+    >>> b.packets_received
+    1
+    """
+
+    def __init__(self, simulator: Simulator, config: ChannelConfig | None = None) -> None:
+        self.sim = simulator
+        self.config = config or ChannelConfig()
+        self._by_address: dict[str, Node] = {}
+        self.nodes: list[Node] = []
+        self.backbone = nx.Graph()
+        self.stats = NetworkStats()
+        self._rng = simulator.rng("channel")
+        #: promiscuous listeners: (node, callback) pairs that overhear
+        #: every radio transmission within the node's range
+        self._monitors: list[tuple[Node, Callable]] = []
+        #: omniscient taps: ``tap(packet, transport)`` fires on every
+        #: transmission, radio ("air") and backbone ("wire") alike —
+        #: instrumentation for tracing, not a protocol-visible channel
+        self.taps: list[Callable[[Packet, str], None]] = []
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def attach(self, node: Node) -> None:
+        """Register a node on the medium under its current address."""
+        if node.address in self._by_address:
+            raise ValueError(f"address {node.address!r} already attached")
+        node.network = self
+        self._by_address[node.address] = node
+        self.nodes.append(node)
+
+    def detach(self, node: Node) -> None:
+        """Remove a node (e.g. a vehicle leaving the highway)."""
+        self._by_address.pop(node.address, None)
+        if node in self.nodes:
+            self.nodes.remove(node)
+        node.network = None
+
+    def readdress(self, node: Node, old_address: str) -> None:
+        """Re-key a node after a pseudonym change."""
+        if self._by_address.get(old_address) is node:
+            del self._by_address[old_address]
+        if node.address in self._by_address and self._by_address[node.address] is not node:
+            raise ValueError(f"address {node.address!r} already in use")
+        self._by_address[node.address] = node
+
+    def node_at(self, address: str) -> Node | None:
+        """Node currently holding ``address``, if attached."""
+        return self._by_address.get(address)
+
+    def add_alias(self, address: str, node: Node) -> None:
+        """Register an extra receive address for ``node``.
+
+        Used for BlackDP's *disposable identities*: the examining cluster
+        head probes a suspect from a throwaway pseudonym so the attacker
+        "feels safe during launching attacks and thinks the CH is a
+        normal node".  Packets addressed to the alias reach ``node``.
+        """
+        if address in self._by_address:
+            raise ValueError(f"address {address!r} already in use")
+        self._by_address[address] = node
+
+    def remove_alias(self, address: str, node: Node) -> None:
+        """Drop an alias previously added with :meth:`add_alias`."""
+        if self._by_address.get(address) is node and address != node.address:
+            del self._by_address[address]
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def in_range(self, a: Node, b: Node) -> bool:
+        """Bidirectional unit-disk reachability."""
+        if a is b:
+            return False
+        limit = min(a.transmission_range, b.transmission_range)
+        return a.distance_to(b) <= limit
+
+    def neighbors(self, node: Node) -> list[Node]:
+        """Nodes currently within bidirectional radio range.
+
+        This is the output of the secure-neighbour-discovery layer the
+        paper assumes ("nodes can perform secure neighbor discovery by
+        mutual authentication when two nodes are within the transmission
+        range of each other"); only attached, in-range nodes appear.
+        """
+        return [other for other in self.nodes if self.in_range(node, other)]
+
+    # ------------------------------------------------------------------
+    # Radio transmission
+    # ------------------------------------------------------------------
+    def _account_bytes(self, packet: Packet) -> None:
+        if not self.config.account_bytes:
+            return
+        from repro.net.codec import CodecError, wire_size
+
+        try:
+            packet.size_bytes = wire_size(packet)
+        except CodecError:
+            pass  # unregistered test packets keep their nominal size
+        self.stats.bytes_sent += packet.size_bytes
+        self.stats.bytes_by_kind[packet.kind] += packet.size_bytes
+
+    def add_monitor(self, node: Node, callback) -> None:
+        """Let ``node`` overhear every radio transmission in its range.
+
+        ``callback(packet, sender_address, intended_dst)`` fires for
+        every transmission of another in-range node — the raw material
+        for watchdog-style forwarding observation.  Radio only; the
+        wired backbone is point-to-point.
+        """
+        self._monitors.append((node, callback))
+
+    def remove_monitor(self, node: Node) -> None:
+        self._monitors = [(n, c) for n, c in self._monitors if n is not node]
+
+    def _overhear(self, sender: Node, packet: Packet) -> None:
+        if not self._monitors:
+            return
+        for monitor, callback in self._monitors:
+            if monitor is sender or not self.in_range(sender, monitor):
+                continue
+            sender_address = packet.src or sender.address
+            self.sim.schedule(
+                self.config.per_hop_delay,
+                lambda cb=callback, p=packet, s=sender_address: cb(p, s, p.dst),
+                label=f"overhear {packet.kind}",
+            )
+
+    def transmit(self, sender: Node, packet: Packet) -> None:
+        """Send ``packet``; broadcast fans out to all in-range nodes."""
+        self.stats.sent += 1
+        self.stats.by_kind[packet.kind] += 1
+        self._account_bytes(packet)
+        for tap in self.taps:
+            tap(packet, "air")
+        self._overhear(sender, packet)
+        if packet.dst == BROADCAST:
+            for receiver in self.neighbors(sender):
+                self._deliver(sender, receiver, packet)
+            return
+        receiver = self._by_address.get(packet.dst)
+        if receiver is None:
+            self.stats.dropped_unknown_address += 1
+            return
+        if not self.in_range(sender, receiver):
+            self.stats.dropped_out_of_range += 1
+            return
+        self._deliver(sender, receiver, packet)
+
+    def _deliver(self, sender: Node, receiver: Node, packet: Packet) -> None:
+        if self.config.loss_rate and self._rng.random() < self.config.loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        delay = self.config.per_hop_delay
+        if self.config.jitter:
+            delay += self._rng.random() * self.config.jitter
+        # The link-layer "from" is the packet's source field, so a node
+        # transmitting under an alias (disposable identity) is seen as
+        # that alias by the receiver, not as its primary address.
+        sender_address = packet.src or sender.address
+
+        def arrive() -> None:
+            # The receiver may have left or re-addressed mid-flight.
+            if receiver.network is self:
+                self.stats.delivered += 1
+                receiver.on_receive(packet, sender_address)
+
+        self.sim.schedule(delay, arrive, label=f"deliver {packet.kind}")
+
+    # ------------------------------------------------------------------
+    # Wired backbone
+    # ------------------------------------------------------------------
+    def connect_backbone(self, a: Node, b: Node) -> None:
+        """Add a wired link between two (stationary) nodes."""
+        self.backbone.add_edge(a.address, b.address)
+
+    def backbone_path_length(self, src_address: str, dst_address: str) -> int | None:
+        """Hops between two backbone nodes, or None if disconnected."""
+        if src_address not in self.backbone or dst_address not in self.backbone:
+            return None
+        try:
+            return nx.shortest_path_length(self.backbone, src_address, dst_address)
+        except nx.NetworkXNoPath:
+            return None
+
+    def transmit_backbone(self, sender: Node, packet: Packet) -> bool:
+        """Send over the wired backbone to ``packet.dst``.
+
+        Returns False (and drops) when the destination is not reachable
+        through wired links.
+        """
+        hops = self.backbone_path_length(sender.address, packet.dst)
+        if hops is None:
+            self.stats.dropped_unknown_address += 1
+            return False
+        receiver = self._by_address.get(packet.dst)
+        if receiver is None:
+            self.stats.dropped_unknown_address += 1
+            return False
+        self.stats.backbone_sent += 1
+        self.stats.by_kind[packet.kind] += 1
+        self._account_bytes(packet)
+        for tap in self.taps:
+            tap(packet, "wire")
+        delay = max(1, hops) * self.config.wired_hop_delay
+        sender_address = sender.address
+
+        def arrive() -> None:
+            if receiver.network is self:
+                self.stats.backbone_delivered += 1
+                receiver.on_receive(packet, sender_address)
+
+        self.sim.schedule(delay, arrive, label=f"backbone {packet.kind}")
+        return True

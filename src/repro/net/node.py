@@ -1,0 +1,146 @@
+"""Node base class shared by vehicles and RSUs.
+
+A node owns a position, a radio range, and a handler table mapping packet
+types to bound methods.  Identity is split in two:
+
+- ``node_id`` -- the stable long-term identity used for bookkeeping and
+  metrics.  It never appears in packets.
+- ``address`` -- the current on-air identity (a pseudonym for vehicles, a
+  fixed id for RSUs).  The network delivers by address, and vehicles
+  re-register when the TA issues them a fresh pseudonym.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.packets import Packet
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+Handler = Callable[[Packet, str], None]
+
+
+class Node:
+    """A network participant with a position and packet handlers.
+
+    Parameters
+    ----------
+    simulator:
+        The event loop this node schedules on.
+    node_id:
+        Stable long-term identity (e.g. ``"veh-12"`` or ``"rsu-3"``).
+    position:
+        Initial ``(x, y)`` coordinates in metres.
+    transmission_range:
+        Radio range in metres (paper/DSRC: up to 1000 m).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        node_id: str,
+        position: tuple[float, float] = (0.0, 0.0),
+        transmission_range: float = 1000.0,
+    ) -> None:
+        self.sim = simulator
+        self.node_id = node_id
+        self._position = position
+        self.transmission_range = transmission_range
+        self.network: "Network | None" = None
+        self._address = node_id
+        self._handlers: dict[type, Handler] = {}
+        self.packets_received = 0
+        self.packets_sent = 0
+        #: optional admission predicate over (packet, sender address);
+        #: packets it rejects are dropped before any handler runs.  The
+        #: secure-neighbour-discovery layer wires itself in here to keep
+        #: unauthenticated senders out of the protocol stack entirely.
+        self.gate: Callable[[Packet, str], bool] | None = None
+        self.packets_gated = 0
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """Current on-air identity."""
+        return self._address
+
+    def set_address(self, address: str) -> None:
+        """Adopt a new on-air identity (pseudonym renewal)."""
+        old = self._address
+        self._address = address
+        if self.network is not None:
+            self.network.readdress(self, old)
+
+    # ------------------------------------------------------------------
+    # Position
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> tuple[float, float]:
+        """Current ``(x, y)``; vehicles override with kinematics."""
+        return self._position
+
+    def set_position(self, position: tuple[float, float]) -> None:
+        self._position = position
+
+    def distance_to(self, other: "Node") -> float:
+        ax, ay = self.position
+        bx, by = other.position
+        return ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def register_handler(self, packet_type: type, handler: Handler) -> None:
+        """Route received packets of ``packet_type`` to ``handler``.
+
+        The most specific registered type wins (checked by exact type
+        first, then by subclass walk in registration order).
+        """
+        self._handlers[packet_type] = handler
+
+    def handler_for(self, packet_type: type) -> Handler | None:
+        """Current handler registered for exactly ``packet_type``.
+
+        Lets a protocol layer chain in front of another (e.g. BlackDP
+        intercepting probe replies before AODV sees them).
+        """
+        return self._handlers.get(packet_type)
+
+    def send(self, packet: Packet) -> None:
+        """Transmit over the radio (unicast or broadcast by ``packet.dst``)."""
+        if self.network is None:
+            raise RuntimeError(f"{self.node_id} is not attached to a network")
+        self.packets_sent += 1
+        self.network.transmit(self, packet)
+
+    def on_receive(self, packet: Packet, sender_address: str) -> None:
+        """Dispatch an arriving packet to the registered handler."""
+        if self.gate is not None and not self.gate(packet, sender_address):
+            self.packets_gated += 1
+            return
+        self.packets_received += 1
+        handler = self._handlers.get(type(packet))
+        if handler is None:
+            for packet_type, candidate in self._handlers.items():
+                if isinstance(packet, packet_type):
+                    handler = candidate
+                    break
+        if handler is not None:
+            handler(packet, sender_address)
+        else:
+            self.handle_unknown(packet, sender_address)
+
+    def handle_unknown(self, packet: Packet, sender_address: str) -> None:
+        """Hook for packets with no registered handler; default: log."""
+        self.sim.logger.debug(
+            self.node_id, f"dropping unhandled {packet.describe()}"
+        )
+
+    def __repr__(self) -> str:
+        x, y = self.position
+        return f"<{type(self).__name__} {self.node_id} @ ({x:.0f},{y:.0f})>"

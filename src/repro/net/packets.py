@@ -1,0 +1,46 @@
+"""Packet base class.
+
+Every message in the simulation — AODV control packets, cluster join
+packets, BlackDP detection packets, data payloads — subclasses
+:class:`Packet`.  Packets carry the *pseudonymous* sender/receiver ids
+used on the air; long-term node identities never appear in packets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """Base class for all simulated messages.
+
+    Attributes
+    ----------
+    src:
+        Pseudonymous id of the original sender.
+    dst:
+        Pseudonymous id of the intended receiver, or
+        :data:`repro.net.network.BROADCAST`.
+    uid:
+        Globally unique packet instance id (diagnostics, dedup in tests).
+    size_bytes:
+        Nominal size used by overhead accounting.
+    """
+
+    src: str
+    dst: str
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    size_bytes: int = 64
+
+    @property
+    def kind(self) -> str:
+        """Short packet-type name used in logs and counters."""
+        return type(self).__name__
+
+    def describe(self) -> str:
+        """One-line rendering for traces."""
+        return f"{self.kind}#{self.uid} {self.src}->{self.dst}"

@@ -1,0 +1,42 @@
+"""AODV routing: the substrate protocol BlackDP defends.
+
+A faithful reactive-routing implementation of the Ad hoc On-Demand
+Distance Vector protocol as the paper uses it:
+
+- route discovery by flooding :class:`RouteRequest` (RREQ) packets,
+- :class:`RouteReply` (RREP) generation by the destination or by an
+  intermediate node with a fresh-enough route, unicast back along the
+  reverse path,
+- per-node routing tables keyed by destination sequence numbers, where a
+  higher sequence number always wins (the rule black hole attackers
+  exploit),
+- route maintenance with periodic :class:`HelloBeacon` packets and
+  :class:`RouteError` (RERR) propagation on link breaks,
+- hop-by-hop :class:`DataPacket` forwarding (what the black hole drops).
+
+Secure variants (certificate + signature fields on RREP) are part of the
+packet format here; the verification logic lives in :mod:`repro.core`.
+"""
+
+from repro.routing.packets import (
+    DataPacket,
+    HelloBeacon,
+    RouteError,
+    RouteReply,
+    RouteRequest,
+)
+from repro.routing.protocol import AodvConfig, AodvProtocol, DiscoveryResult
+from repro.routing.table import RouteEntry, RoutingTable
+
+__all__ = [
+    "AodvConfig",
+    "AodvProtocol",
+    "DataPacket",
+    "DiscoveryResult",
+    "HelloBeacon",
+    "RouteEntry",
+    "RouteError",
+    "RouteReply",
+    "RouteRequest",
+    "RoutingTable",
+]

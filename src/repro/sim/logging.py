@@ -1,0 +1,95 @@
+"""Simulation-time-aware logging.
+
+A :class:`SimLogger` stamps every record with the virtual clock instead of
+wall time, and keeps an in-memory ring of recent records so tests can
+assert on what the protocol reported without configuring handlers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+_LEVEL_NAMES = {DEBUG: "DEBUG", INFO: "INFO", WARNING: "WARNING", ERROR: "ERROR"}
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One captured log line."""
+
+    time: float
+    level: int
+    source: str
+    message: str
+
+    def format(self) -> str:
+        level = _LEVEL_NAMES.get(self.level, str(self.level))
+        return f"[{self.time:12.6f}] {level:<7} {self.source}: {self.message}"
+
+
+class SimLogger:
+    """Collects :class:`LogRecord` objects stamped with simulator time.
+
+    Parameters
+    ----------
+    simulator:
+        Clock source; ``simulator.now`` is read at emit time.
+    level:
+        Records below this level are dropped.
+    capacity:
+        Size of the in-memory ring buffer of recent records.
+    sink:
+        Optional callable receiving the formatted line of every kept
+        record (e.g. ``print`` for live runs).
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        *,
+        level: int = WARNING,
+        capacity: int = 10_000,
+        sink: Callable[[str], None] | None = None,
+    ) -> None:
+        self._simulator = simulator
+        self.level = level
+        self.records: deque[LogRecord] = deque(maxlen=capacity)
+        self.sink = sink
+
+    def log(self, level: int, source: str, message: str) -> None:
+        """Record ``message`` at ``level`` if it passes the threshold."""
+        if level < self.level:
+            return
+        record = LogRecord(self._simulator.now, level, source, message)
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink(record.format())
+
+    def debug(self, source: str, message: str) -> None:
+        self.log(DEBUG, source, message)
+
+    def info(self, source: str, message: str) -> None:
+        self.log(INFO, source, message)
+
+    def warning(self, source: str, message: str) -> None:
+        self.log(WARNING, source, message)
+
+    def error(self, source: str, message: str) -> None:
+        self.log(ERROR, source, message)
+
+    def messages(self, *, source: str | None = None) -> list[str]:
+        """Return captured messages, optionally filtered by source."""
+        return [
+            r.message
+            for r in self.records
+            if source is None or r.source == source
+        ]

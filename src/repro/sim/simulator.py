@@ -1,0 +1,148 @@
+"""The simulator: a virtual clock draining an event queue.
+
+The whole reproduction is built on this loop.  Nodes, channels, timers and
+protocols never sleep or poll; they schedule callbacks at absolute virtual
+times and the simulator executes them in deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import Event, EventQueue, PRIORITY_NORMAL
+from repro.sim.logging import SimLogger
+from repro.sim.rng import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven incorrectly.
+
+    Examples: scheduling into the past, or running a simulator that was
+    already stopped with ``reset=False``.
+    """
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(2.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [2.5]
+    """
+
+    def __init__(self, *, seed: int = 0, log_level: int | None = None) -> None:
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.streams = RandomStreams(seed)
+        self.logger = SimLogger(self, level=log_level if log_level is not None else 30)
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay!r})"
+            )
+        return self.queue.push(
+            self.now + delay, action, priority=priority, label=label
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, already at t={self.now!r}"
+            )
+        return self.queue.push(time, action, priority=priority, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, *, max_events: int | None = None) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time; the clock is then
+            advanced exactly to ``until`` so follow-up ``run`` calls and
+            position lookups see a consistent "current" time.
+        max_events:
+            Safety valve for runaway protocols; raises
+            :class:`SimulationError` when exceeded.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self.queue.pop()
+                if event is None:  # pragma: no cover - raced cancellation
+                    break
+                self.now = event.time
+                event.action()
+                executed += 1
+                self.events_executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} "
+                        f"(last event: {event.label or event.action!r})"
+                    )
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Returns ``False`` when idle."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.now = event.time
+        event.action()
+        self.events_executed += 1
+        return True
+
+    def stop(self) -> None:
+        """Stop ``run`` after the currently executing event returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def rng(self, name: str):
+        """Shorthand for ``self.streams.stream(name)``."""
+        return self.streams.stream(name)
+
+    def pending(self) -> int:
+        """Number of live events waiting in the queue."""
+        return len(self.queue)

@@ -1,0 +1,31 @@
+"""SUMO-style floating-car-data (FCD) traces.
+
+The paper lists SUMO integration as future work; this package provides
+the interchange layer: record per-vehicle position/speed samples from a
+running simulation, export them in a SUMO-FCD-compatible XML (or compact
+CSV), read traces back, and replay them as a mobility source through
+:class:`~repro.trace.replay.ReplayMotion`, which interpolates positions
+between samples exactly like a trace-driven network simulator would.
+"""
+
+from repro.trace.fcd import (
+    Trace,
+    TraceSample,
+    read_csv,
+    read_fcd_xml,
+    write_csv,
+    write_fcd_xml,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import ReplayMotion
+
+__all__ = [
+    "ReplayMotion",
+    "Trace",
+    "TraceRecorder",
+    "TraceSample",
+    "read_csv",
+    "read_fcd_xml",
+    "write_csv",
+    "write_fcd_xml",
+]

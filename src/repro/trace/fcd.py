@@ -1,0 +1,162 @@
+"""Trace data model and (de)serialisation.
+
+Two formats:
+
+- A compact CSV (``time,vehicle,x,y,speed``) for fast programmatic use.
+- A SUMO-FCD-compatible XML dialect (``<fcd-export><timestep time=...>
+  <vehicle id=... x=... y=... speed=.../>``) so traces interoperate with
+  SUMO tooling.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One FCD sample: where a vehicle was at an instant."""
+
+    time: float
+    vehicle_id: str
+    x: float
+    y: float
+    speed: float
+
+
+@dataclass
+class Trace:
+    """An ordered collection of samples with per-vehicle views."""
+
+    samples: list[TraceSample] = field(default_factory=list)
+
+    def add(self, sample: TraceSample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def vehicles(self) -> list[str]:
+        """Distinct vehicle ids in first-appearance order."""
+        seen: dict[str, None] = {}
+        for sample in self.samples:
+            seen.setdefault(sample.vehicle_id, None)
+        return list(seen)
+
+    def for_vehicle(self, vehicle_id: str) -> list[TraceSample]:
+        """All samples of one vehicle, sorted by time."""
+        return sorted(
+            (s for s in self.samples if s.vehicle_id == vehicle_id),
+            key=lambda s: s.time,
+        )
+
+    def by_timestep(self) -> dict[float, list[TraceSample]]:
+        """Samples grouped by timestamp (FCD's natural layout)."""
+        grouped: dict[float, list[TraceSample]] = defaultdict(list)
+        for sample in self.samples:
+            grouped[sample.time].append(sample)
+        return dict(sorted(grouped.items()))
+
+    def time_span(self) -> tuple[float, float]:
+        """``(first, last)`` sample times; raises on an empty trace."""
+        if not self.samples:
+            raise ValueError("trace is empty")
+        times = [s.time for s in self.samples]
+        return min(times), max(times)
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+_CSV_HEADER = "time,vehicle,x,y,speed"
+
+
+def write_csv(trace: Trace, path: str | Path) -> None:
+    """Write the compact CSV form."""
+    lines = [_CSV_HEADER]
+    for s in trace.samples:
+        lines.append(f"{s.time!r},{s.vehicle_id},{s.x!r},{s.y!r},{s.speed!r}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_csv(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_csv`."""
+    trace = Trace()
+    with open(path) as handle:
+        header = handle.readline().strip()
+        if header != _CSV_HEADER:
+            raise ValueError(f"unexpected trace header: {header!r}")
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(",")
+            if len(parts) != 5:
+                raise ValueError(f"malformed trace line {line_number}: {line!r}")
+            time_str, vehicle_id, x_str, y_str, speed_str = parts
+            trace.add(
+                TraceSample(
+                    time=float(time_str),
+                    vehicle_id=vehicle_id,
+                    x=float(x_str),
+                    y=float(y_str),
+                    speed=float(speed_str),
+                )
+            )
+    return trace
+
+
+# ----------------------------------------------------------------------
+# SUMO-FCD XML
+# ----------------------------------------------------------------------
+def write_fcd_xml(trace: Trace, path: str | Path) -> None:
+    """Write the SUMO-FCD-compatible XML dialect."""
+    root = ET.Element("fcd-export")
+    for time, samples in trace.by_timestep().items():
+        step = ET.SubElement(root, "timestep", {"time": repr(time)})
+        for s in samples:
+            ET.SubElement(
+                step,
+                "vehicle",
+                {
+                    "id": s.vehicle_id,
+                    "x": repr(s.x),
+                    "y": repr(s.y),
+                    "speed": repr(s.speed),
+                },
+            )
+    ET.ElementTree(root).write(path, encoding="unicode", xml_declaration=True)
+
+
+def read_fcd_xml(path: str | Path) -> Trace:
+    """Read an FCD XML trace (ours or SUMO's, for the shared attributes)."""
+    trace = Trace()
+    root = ET.parse(path).getroot()
+    if root.tag != "fcd-export":
+        raise ValueError(f"not an fcd-export document: root is <{root.tag}>")
+    for step in root.iter("timestep"):
+        time = float(step.get("time", "nan"))
+        for vehicle in step.iter("vehicle"):
+            trace.add(
+                TraceSample(
+                    time=time,
+                    vehicle_id=vehicle.get("id", ""),
+                    x=float(vehicle.get("x", "0")),
+                    y=float(vehicle.get("y", "0")),
+                    speed=float(vehicle.get("speed", "0")),
+                )
+            )
+    return trace
+
+
+def merge(traces: Iterable[Trace]) -> Trace:
+    """Concatenate traces (e.g. per-cluster recorders) into one."""
+    merged = Trace()
+    for trace in traces:
+        merged.samples.extend(trace.samples)
+    merged.samples.sort(key=lambda s: (s.time, s.vehicle_id))
+    return merged

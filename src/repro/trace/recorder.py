@@ -1,0 +1,54 @@
+"""Periodic trace recording from a live simulation."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.sim import PeriodicTimer, Simulator
+from repro.trace.fcd import Trace, TraceSample
+
+#: Yields ``(vehicle_id, x, y, speed)`` tuples for every tracked vehicle.
+SampleSource = Callable[[], Iterable[tuple[str, float, float, float]]]
+
+
+class TraceRecorder:
+    """Samples vehicle state on a fixed interval into a :class:`Trace`.
+
+    Parameters
+    ----------
+    simulator:
+        The running event loop.
+    source:
+        Callable returning the current ``(id, x, y, speed)`` of every
+        vehicle to record — typically a closure over the scenario's
+        vehicle list.
+    interval:
+        Sampling period in seconds (SUMO's FCD default is 1.0).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        source: SampleSource,
+        *,
+        interval: float = 1.0,
+    ) -> None:
+        self.trace = Trace()
+        self._source = source
+        self._timer = PeriodicTimer(
+            simulator, interval, self._sample, first_delay=0.0, label="trace"
+        )
+        self._simulator = simulator
+
+    def start(self) -> None:
+        """Begin sampling (first sample at the current instant)."""
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop sampling; the collected trace remains available."""
+        self._timer.cancel()
+
+    def _sample(self) -> None:
+        now = self._simulator.now
+        for vehicle_id, x, y, speed in self._source():
+            self.trace.add(TraceSample(now, vehicle_id, x, y, speed))

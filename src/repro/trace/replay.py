@@ -1,0 +1,70 @@
+"""Trace-driven mobility: interpolate a recorded vehicle's position.
+
+Lets any recorded (or externally produced, e.g. SUMO) trace drive a
+vehicle in the simulation instead of the synthetic kinematics —
+the standard trace-replay mode of network simulators.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.trace.fcd import Trace, TraceSample
+
+
+class ReplayMotion:
+    """Position/speed lookup over one vehicle's samples.
+
+    Linear interpolation between samples; clamped to the first/last
+    sample outside the recorded span (the vehicle "parks" at its last
+    known position, mirroring SUMO's behaviour for departed vehicles).
+
+    >>> t = Trace()
+    >>> t.add(TraceSample(0.0, "v", 0.0, 5.0, 10.0))
+    >>> t.add(TraceSample(10.0, "v", 100.0, 5.0, 10.0))
+    >>> ReplayMotion(t, "v").position(5.0)
+    (50.0, 5.0)
+    """
+
+    def __init__(self, trace: Trace, vehicle_id: str) -> None:
+        samples = trace.for_vehicle(vehicle_id)
+        if not samples:
+            raise ValueError(f"trace has no samples for vehicle {vehicle_id!r}")
+        self.vehicle_id = vehicle_id
+        self._samples = samples
+        self._times = [s.time for s in samples]
+
+    @property
+    def entry_time(self) -> float:
+        return self._times[0]
+
+    @property
+    def exit_time(self) -> float:
+        return self._times[-1]
+
+    def _bracket(self, t: float) -> tuple[TraceSample, TraceSample, float]:
+        """Surrounding samples and the interpolation fraction at ``t``."""
+        if t <= self._times[0]:
+            first = self._samples[0]
+            return first, first, 0.0
+        if t >= self._times[-1]:
+            last = self._samples[-1]
+            return last, last, 0.0
+        right = bisect.bisect_right(self._times, t)
+        before = self._samples[right - 1]
+        after = self._samples[right]
+        span = after.time - before.time
+        fraction = 0.0 if span == 0 else (t - before.time) / span
+        return before, after, fraction
+
+    def position(self, t: float) -> tuple[float, float]:
+        """Interpolated ``(x, y)`` at time ``t``."""
+        before, after, fraction = self._bracket(t)
+        x = before.x + (after.x - before.x) * fraction
+        y = before.y + (after.y - before.y) * fraction
+        return (x, y)
+
+    def speed_at(self, t: float) -> float:
+        """Speed from the sample at or before ``t`` (step function)."""
+        before, _after, _fraction = self._bracket(t)
+        return before.speed

@@ -1,0 +1,13 @@
+"""Vehicle nodes: mobility + identity + AODV + cluster membership.
+
+A :class:`VehicleNode` glues the substrates together: its position comes
+from a :class:`~repro.mobility.kinematics.VehicleMotion` (or a replayed
+trace), its on-air address is the pseudonym from its TA enrolment, it
+runs AODV for routing, and it joins/leaves clusters as it crosses
+segment boundaries.
+"""
+
+from repro.vehicles.rotation import PseudonymRotation
+from repro.vehicles.vehicle import VehicleNode
+
+__all__ = ["PseudonymRotation", "VehicleNode"]

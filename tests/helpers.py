@@ -1,0 +1,52 @@
+"""Shared test fixtures: quick topology builders.
+
+A "chain" places nodes 800 m apart with 1000 m radios, so each node only
+reaches its immediate neighbours — the standard multi-hop line topology
+for AODV tests.
+"""
+
+from __future__ import annotations
+
+from repro.net import ChannelConfig, Network, Node
+from repro.routing import AodvConfig, AodvProtocol
+from repro.sim import Simulator
+
+
+class AodvHost:
+    """A node + its AODV instance, as tests want to see them together."""
+
+    def __init__(self, node: Node, aodv: AodvProtocol) -> None:
+        self.node = node
+        self.aodv = aodv
+
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+
+def build_chain(
+    count: int,
+    *,
+    seed: int = 1,
+    spacing: float = 800.0,
+    aodv_config: AodvConfig | None = None,
+    channel: ChannelConfig | None = None,
+) -> tuple[Simulator, Network, list[AodvHost]]:
+    """A line of ``count`` AODV nodes, each reaching only its neighbours."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, channel)
+    hosts = []
+    for i in range(count):
+        node = Node(sim, f"n{i}", position=(i * spacing, 0.0))
+        net.attach(node)
+        hosts.append(AodvHost(node, AodvProtocol(node, aodv_config)))
+    return sim, net, hosts
+
+
+def run_discovery(sim, host: AodvHost, destination: str):
+    """Run a discovery to completion and return its result."""
+    results = []
+    host.aodv.discover(destination, results.append)
+    sim.run()
+    assert results, "discovery callback never fired"
+    return results[0]

@@ -1,0 +1,9 @@
+"""Shared BlackDP world builder for integration tests.
+
+The builder itself lives in :mod:`repro.experiments.world` (experiments
+and tests exercise the identical stack); this module just re-exports it.
+"""
+
+from repro.experiments.world import World, build_world
+
+__all__ = ["World", "build_world"]

@@ -1,0 +1,111 @@
+"""Tests for protocol tracing and sequence-diagram rendering."""
+
+import pytest
+
+from repro.analysis import SequenceTracer, TraceEvent, render_sequence
+from repro.net import Network, Node, Packet
+from repro.sim import Simulator
+
+
+def build_pair():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    a = Node(sim, "a", position=(0, 0))
+    b = Node(sim, "b", position=(500, 0))
+    net.attach(a)
+    net.attach(b)
+    return sim, net, a, b
+
+
+def test_tracer_records_radio_and_wire():
+    sim, net, a, b = build_pair()
+    net.connect_backbone(a, b)
+    tracer = SequenceTracer(net)
+    a.send(Packet(src="a", dst="b"))
+    net.transmit_backbone(a, Packet(src="a", dst="b"))
+    sim.run()
+    transports = [event.transport for event in tracer.events]
+    assert transports == ["air", "wire"]
+    tracer.stop()
+    a.send(Packet(src="a", dst="b"))
+    sim.run()
+    assert len(tracer.events) == 2  # stopped: nothing new
+
+
+def test_tracer_kind_filter():
+    from repro.routing.packets import HelloBeacon
+
+    sim, net, a, b = build_pair()
+    tracer = SequenceTracer(net, kinds={"HelloBeacon"})
+    a.send(Packet(src="a", dst="b"))
+    a.send(HelloBeacon(src="a", dst="*", originator="a"))
+    sim.run()
+    assert [event.kind for event in tracer.events] == ["HelloBeacon"]
+    tracer.stop()
+
+
+def test_tracer_predicate_and_capacity():
+    sim, net, a, b = build_pair()
+    tracer = SequenceTracer(net, predicate=lambda p: p.dst == "b", capacity=2)
+    for _ in range(5):
+        a.send(Packet(src="a", dst="b"))
+    a.send(Packet(src="a", dst="ghost"))
+    sim.run()
+    assert len(tracer.events) == 2  # capacity-capped
+    assert all(event.dst == "b" for event in tracer.events)
+    tracer.stop()
+
+
+def test_tracer_involving_filter():
+    sim, net, a, b = build_pair()
+    c = Node(sim, "c", position=(900, 0))
+    net.attach(c)
+    tracer = SequenceTracer(net)
+    a.send(Packet(src="a", dst="b"))
+    c.send(Packet(src="c", dst="b"))
+    sim.run()
+    picked = tracer.involving({"a", "b"})
+    assert len(picked) == 1
+    assert picked[0].src == "a"
+    tracer.stop()
+
+
+def test_render_draws_arrows_and_labels():
+    events = [
+        TraceEvent(1.0, "a", "b", "RouteRequest", "air"),
+        TraceEvent(2.0, "b", "a", "RouteReply", "air"),
+        TraceEvent(3.0, "a", "c", "DetectionForward", "wire"),
+    ]
+    diagram = render_sequence(events, ["a", "b", "c"])
+    lines = diagram.splitlines()
+    assert lines[0].split() == ["t(s)", "a", "b", "c"]
+    assert "RREQ" in lines[1] and ">" in lines[1]
+    assert "RREP" in lines[2] and "<" in lines[2]
+    assert "fwd" in lines[3] and "=" in lines[3]
+
+
+def test_render_broadcast_and_unknown_endpoints():
+    events = [
+        TraceEvent(1.0, "a", "*", "MemberWarning", "air"),
+        TraceEvent(2.0, "stranger", "b", "RouteReply", "air"),  # skipped
+        TraceEvent(3.0, "a", "stranger", "RouteReply", "air"),  # skipped
+    ]
+    diagram = render_sequence(events, ["a", "b"])
+    lines = diagram.splitlines()
+    assert len(lines) == 2  # header + the broadcast only
+    assert "warn*" in lines[1]
+
+
+def test_render_custom_labels():
+    events = [TraceEvent(1.0, "pid-x", "pid-y", "SecureHello", "air")]
+    diagram = render_sequence(
+        events, ["pid-x", "pid-y"], labels={"pid-x": "src", "pid-y": "dst"}
+    )
+    header = diagram.splitlines()[0]
+    assert "src" in header and "dst" in header
+    assert "pid-x" not in header
+
+
+def test_render_validation():
+    with pytest.raises(ValueError):
+        render_sequence([], [])

@@ -1,0 +1,267 @@
+"""Tests for single and cooperative black hole behaviour."""
+
+import pytest
+
+from repro.attacks import AttackerPolicy, BlackHoleVehicle, make_cooperative_pair
+from repro.clusters import build_rsu_chain
+from repro.mobility import Highway, VehicleMotion
+from repro.net import Network
+from repro.routing import RouteRequest
+from repro.sim import Simulator
+from repro.vehicles import VehicleNode
+
+
+def build_scenario(seed=1, with_rsus=False):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    highway = Highway()
+    rsus = build_rsu_chain(sim, net, highway) if with_rsus else []
+    return sim, net, highway, rsus
+
+
+def make_honest(sim, net, highway, node_id, x, speed=0.0):
+    motion = VehicleMotion(entry_time=sim.now, entry_x=x, speed=speed, lane_y=25.0)
+    vehicle = VehicleNode(sim, highway, node_id, motion)
+    net.attach(vehicle)
+    return vehicle
+
+
+def make_attacker(sim, net, highway, node_id, x, policy=None, speed=0.0):
+    motion = VehicleMotion(entry_time=sim.now, entry_x=x, speed=speed, lane_y=25.0)
+    attacker = BlackHoleVehicle(sim, highway, node_id, motion, policy=policy)
+    net.attach(attacker)
+    return attacker
+
+
+def test_attacker_wins_route_selection_with_high_seq():
+    sim, net, highway, _ = build_scenario()
+    # src -- honest -- attacker ... dest; both honest and attacker answer
+    src = make_honest(sim, net, highway, "src", 0.0)
+    mid = make_honest(sim, net, highway, "mid", 800.0)
+    attacker = make_attacker(sim, net, highway, "bh", 1600.0)
+    dest = make_honest(sim, net, highway, "dst", 2400.0)
+    results = []
+    src.aodv.discover(dest.address, results.append)
+    sim.run()
+    result = results[0]
+    assert result.succeeded
+    best = result.best_reply()
+    assert best.replied_by == attacker.address
+    assert best.destination_seq >= 120  # the fake boost
+    # The poisoned route points through the honest relay towards the attacker.
+    assert result.route.destination_seq == best.destination_seq
+
+
+def test_attacker_drops_transit_data():
+    sim, net, highway, _ = build_scenario()
+    src = make_honest(sim, net, highway, "src", 0.0)
+    attacker = make_attacker(sim, net, highway, "bh", 800.0)
+    dest = make_honest(sim, net, highway, "dst", 1600.0)
+    results = []
+    src.aodv.discover(dest.address, results.append)
+    sim.run()
+    delivered = []
+    dest.aodv.add_data_sink(lambda p: delivered.append(p.payload))
+    for i in range(5):
+        src.aodv.send_data(dest.address, payload=i)
+    sim.run()
+    assert delivered == []
+    assert attacker.aodv.data_dropped == 5
+
+
+def test_attacker_does_not_rebroadcast_floods():
+    sim, net, highway, _ = build_scenario()
+    src = make_honest(sim, net, highway, "src", 0.0)
+    attacker = make_attacker(sim, net, highway, "bh", 800.0)
+    dest = make_honest(sim, net, highway, "dst", 1600.0)
+    results = []
+    src.aodv.discover(dest.address, results.append)
+    sim.run()
+    assert attacker.aodv.stats.rreq_rebroadcast == 0
+    # dest is 1600 m from src: unreachable because the attacker swallowed
+    # the flood, so the only "route" is the fake one.
+    repliers = {r.replied_by for r in results[0].replies}
+    assert repliers == {attacker.address}
+
+
+def test_fake_seq_escalates_on_repeat_probes():
+    """The AODV violation BlackDP exploits: a repeat request carrying the
+    attacker's own previous sequence number still gets outbid."""
+    sim, net, highway, _ = build_scenario()
+    probe = make_honest(sim, net, highway, "probe", 0.0)
+    attacker = make_attacker(sim, net, highway, "bh", 800.0)
+    replies = []
+    probe.aodv.add_rrep_listener(lambda r, s: replies.append(r))
+    probe.node_id  # silence lint
+    probe.send(
+        RouteRequest(
+            src=probe.address, dst=attacker.address, originator=probe.address,
+            originator_seq=1, destination="ghost", destination_seq=0, rreq_id=1,
+        )
+    )
+    sim.run()
+    first_seq = replies[0].destination_seq
+    probe.send(
+        RouteRequest(
+            src=probe.address, dst=attacker.address, originator=probe.address,
+            originator_seq=2, destination="ghost", destination_seq=first_seq + 1,
+            rreq_id=2,
+        )
+    )
+    sim.run()
+    assert len(replies) == 2
+    assert replies[1].destination_seq > first_seq + 1
+
+
+def test_act_legitimately_policy_suspends_attack():
+    sim, net, highway, _ = build_scenario()
+    src = make_honest(sim, net, highway, "src", 0.0)
+    attacker = make_attacker(
+        sim, net, highway, "bh", 800.0, policy=AttackerPolicy.act_legitimately()
+    )
+    dest = make_honest(sim, net, highway, "dst", 1600.0)
+    results = []
+    src.aodv.discover(dest.address, results.append)
+    sim.run()
+    # The attacker forwarded the flood like an honest node instead.
+    assert attacker.aodv.fake_replies_sent == 0
+    assert attacker.aodv.stats.rreq_rebroadcast >= 1
+    best = results[0].best_reply()
+    assert best is not None and best.replied_by == dest.address
+
+
+def test_max_replies_policy_goes_quiet():
+    sim, net, highway, _ = build_scenario()
+    probe = make_honest(sim, net, highway, "probe", 0.0)
+    attacker = make_attacker(
+        sim, net, highway, "bh", 800.0, policy=AttackerPolicy(max_replies=1)
+    )
+    replies = []
+    probe.aodv.add_rrep_listener(lambda r, s: replies.append(r))
+    for i in range(3):
+        # distinct fake destinations so the probe's own route cache cannot
+        # echo the first fake route back as an intermediate reply
+        probe.send(
+            RouteRequest(
+                src=probe.address, dst=attacker.address, originator=probe.address,
+                originator_seq=i + 1, destination=f"ghost-{i}", destination_seq=0,
+                rreq_id=i + 1,
+            )
+        )
+        sim.run()
+    assert attacker.aodv.fake_replies_sent == 1
+    assert len(replies) == 1
+
+
+def test_flee_policy_accelerates_out_of_cluster():
+    sim, net, highway, rsus = build_scenario(with_rsus=True)
+    attacker = make_attacker(
+        sim, net, highway, "bh", 1900.0,
+        policy=AttackerPolicy.hit_and_run(replies=1), speed=25.0,
+    )
+    attacker.activate()
+    probe = make_honest(sim, net, highway, "probe", 1500.0)
+    sim.run(until=0.5)
+    assert attacker.current_cluster == 2
+    probe.send(
+        RouteRequest(
+            src=probe.address, dst=attacker.address, originator=probe.address,
+            originator_seq=1, destination="ghost", destination_seq=0, rreq_id=1,
+        )
+    )
+    sim.run(until=0.6)
+    assert attacker.speed == pytest.approx(attacker.policy.flee_speed)
+    sim.run(until=4.0)  # 100 m to the boundary at 40 m/s
+    assert attacker.current_cluster == 3
+
+
+def test_flee_in_last_cluster_exits_highway():
+    sim, net, highway, rsus = build_scenario(with_rsus=True)
+    attacker = make_attacker(
+        sim, net, highway, "bh", 9900.0,
+        policy=AttackerPolicy.hit_and_run(replies=1), speed=25.0,
+    )
+    attacker.activate()
+    probe = make_honest(sim, net, highway, "probe", 9500.0)
+    sim.run(until=0.5)
+    probe.send(
+        RouteRequest(
+            src=probe.address, dst=attacker.address, originator=probe.address,
+            originator_seq=1, destination="ghost", destination_seq=0, rreq_id=1,
+        )
+    )
+    sim.run(until=1.0)
+    assert attacker.exited
+
+
+def test_cooperative_pair_mutual_agreement():
+    sim, net, highway, _ = build_scenario()
+    b1, b2 = make_cooperative_pair(
+        sim, highway,
+        primary_id="b1", teammate_id="b2",
+        primary_x=1000.0, teammate_x=1600.0, speed=0.0,
+    )
+    net.attach(b1)
+    net.attach(b2)
+    assert b1.aodv.teammate == b2.address
+    assert b2.aodv.teammate == b1.address
+    assert b1.supports_claim(b2.address)
+    assert not b1.supports_claim("stranger")
+
+
+def test_cooperative_pair_discloses_teammate_on_next_hop_inquiry():
+    sim, net, highway, _ = build_scenario()
+    b1, b2 = make_cooperative_pair(
+        sim, highway,
+        primary_id="b1", teammate_id="b2",
+        primary_x=800.0, teammate_x=1400.0, speed=0.0,
+    )
+    net.attach(b1)
+    net.attach(b2)
+    probe = make_honest(sim, net, highway, "probe", 0.0)
+    replies = []
+    probe.aodv.add_rrep_listener(lambda r, s: replies.append(r))
+    probe.send(
+        RouteRequest(
+            src=probe.address, dst=b1.address, originator=probe.address,
+            originator_seq=1, destination="ghost", destination_seq=10,
+            rreq_id=1, request_next_hop=True,
+        )
+    )
+    sim.run()
+    assert replies[0].next_hop_claim == b2.address
+
+
+def test_single_attacker_has_no_next_hop_claim():
+    sim, net, highway, _ = build_scenario()
+    attacker = make_attacker(sim, net, highway, "bh", 800.0)
+    probe = make_honest(sim, net, highway, "probe", 0.0)
+    replies = []
+    probe.aodv.add_rrep_listener(lambda r, s: replies.append(r))
+    probe.send(
+        RouteRequest(
+            src=probe.address, dst=attacker.address, originator=probe.address,
+            originator_seq=1, destination="ghost", destination_seq=0,
+            rreq_id=1, request_next_hop=True,
+        )
+    )
+    sim.run()
+    assert replies[0].next_hop_claim is None
+
+
+def test_cooperative_pair_out_of_range_rejected():
+    sim = Simulator()
+    highway = Highway()
+    with pytest.raises(ValueError):
+        make_cooperative_pair(
+            sim, highway,
+            primary_id="b1", teammate_id="b2",
+            primary_x=0.0, teammate_x=2000.0, speed=0.0,
+        )
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        AttackerPolicy(respond_probability=1.5)
+    with pytest.raises(ValueError):
+        AttackerPolicy(fake_seq_boost=0)

@@ -1,0 +1,173 @@
+"""Tests for baseline detectors, including their documented failure modes."""
+
+import pytest
+
+from repro.baselines import (
+    PeakThresholdDetector,
+    SequenceComparisonDetector,
+    StaticThresholdDetector,
+    WatchdogTrustDetector,
+    NaiveProbeDetector,
+)
+from repro.routing import RouteReply
+
+
+def reply(who, seq, hops=2):
+    return RouteReply(
+        src=who, dst="src", replied_by=who, destination_seq=seq, hop_count=hops
+    )
+
+
+# ----------------------------------------------------------------------
+# Jaiswal: first-reply comparison
+# ----------------------------------------------------------------------
+def test_sequence_comparison_flags_outlier_first_reply():
+    detector = SequenceComparisonDetector()
+    replies = [reply("attacker", 200), reply("honest1", 20), reply("honest2", 25)]
+    verdict = detector.evaluate(replies)
+    assert verdict.detected_attack
+    assert verdict.flagged == ["attacker"]
+    assert verdict.chosen.replied_by == "honest2"
+
+
+def test_sequence_comparison_accepts_normal_spread():
+    detector = SequenceComparisonDetector()
+    verdict = detector.evaluate([reply("a", 30), reply("b", 25)])
+    assert not verdict.detected_attack
+    assert verdict.chosen.replied_by == "a"
+
+
+def test_sequence_comparison_fails_on_single_replier():
+    """The CV-highway failure mode the paper calls out: when the attacker
+    is the only replier there is nothing to compare against."""
+    detector = SequenceComparisonDetector()
+    verdict = detector.evaluate([reply("attacker", 500)])
+    assert not verdict.detected_attack
+    assert verdict.chosen.replied_by == "attacker"  # poisoned route accepted
+
+
+def test_sequence_comparison_ratio_validation():
+    with pytest.raises(ValueError):
+        SequenceComparisonDetector(ratio=1.0)
+
+
+# ----------------------------------------------------------------------
+# Jhaveri: PEAK threshold
+# ----------------------------------------------------------------------
+def test_peak_flags_above_peak():
+    detector = PeakThresholdDetector(initial_peak=50)
+    verdict = detector.evaluate([reply("attacker", 170), reply("honest", 20)])
+    assert verdict.flagged == ["attacker"]
+    assert verdict.chosen.replied_by == "honest"
+
+
+def test_peak_tracks_legitimate_growth():
+    detector = PeakThresholdDetector(initial_peak=50, growth=1.2)
+    detector.evaluate([reply("h", 45)])
+    # peak grew to max(50, 45) * 1.2 = 60; a legit 55 now passes
+    verdict = detector.evaluate([reply("h2", 55)])
+    assert not verdict.detected_attack
+
+
+def test_peak_misses_attacker_under_peak():
+    """A modest attacker that bids just under PEAK slips through."""
+    detector = PeakThresholdDetector(initial_peak=200)
+    verdict = detector.evaluate([reply("attacker", 199), reply("honest", 20)])
+    assert not verdict.detected_attack
+    assert verdict.chosen.replied_by == "attacker"
+
+
+def test_peak_validation():
+    with pytest.raises(ValueError):
+        PeakThresholdDetector(initial_peak=0)
+    with pytest.raises(ValueError):
+        PeakThresholdDetector(growth=0.9)
+
+
+# ----------------------------------------------------------------------
+# Tan & Kim: static thresholds
+# ----------------------------------------------------------------------
+def test_static_threshold_flags_and_discards():
+    detector = StaticThresholdDetector("medium")
+    verdict = detector.evaluate([reply("attacker", 240 + 1), reply("honest", 30)])
+    assert verdict.flagged == ["attacker"] or verdict.flagged == []
+    # medium threshold is 120: 241 is flagged
+    assert "attacker" in detector.evaluate([reply("attacker", 241)]).flagged
+
+
+def test_static_threshold_environments_differ():
+    small = StaticThresholdDetector("small")
+    large = StaticThresholdDetector("large")
+    mid_seq = [reply("node", 100)]
+    assert small.evaluate(mid_seq).detected_attack
+    assert not large.evaluate(mid_seq).detected_attack
+
+
+def test_static_threshold_unknown_environment():
+    with pytest.raises(ValueError):
+        StaticThresholdDetector("galactic")
+
+
+def test_static_threshold_false_positive_on_old_network():
+    """Fixed thresholds misfire once legitimate sequence numbers age past
+    them — a known weakness BlackDP's behavioural probe avoids."""
+    detector = StaticThresholdDetector("small")
+    verdict = detector.evaluate([reply("legit-but-old", 90)])
+    assert verdict.detected_attack  # false positive
+    assert verdict.chosen is None
+
+
+# ----------------------------------------------------------------------
+# Watchdog / trust
+# ----------------------------------------------------------------------
+def test_watchdog_flags_after_repeated_drops():
+    detector = WatchdogTrustDetector()
+    needed = detector.observations_to_flag()
+    for _ in range(needed):
+        detector.observe("attacker", forwarded=False)
+    assert detector.is_flagged("attacker")
+    assert detector.flagged() == ["attacker"]
+
+
+def test_watchdog_rewards_forwarders():
+    detector = WatchdogTrustDetector()
+    for _ in range(10):
+        detector.observe("honest", forwarded=True)
+    assert not detector.is_flagged("honest")
+    assert detector.trust["honest"] > detector.initial_trust
+
+
+def test_watchdog_churn_resets_reputation():
+    """Pseudonym renewal launders the attacker's bad reputation."""
+    detector = WatchdogTrustDetector()
+    for _ in range(detector.observations_to_flag()):
+        detector.observe("old-pid", forwarded=False)
+    assert detector.is_flagged("old-pid")
+    detector.forget("old-pid")  # vehicle "left"; attacker returns renamed
+    assert not detector.is_flagged("new-pid")
+
+
+def test_watchdog_vote_pollution_harms_honest_nodes():
+    """Attackers voting an honest node down drags it under threshold."""
+    detector = WatchdogTrustDetector()
+    for _ in range(5):
+        detector.observe("honest", forwarded=True)
+    before = detector.trust["honest"]
+    detector.absorb_votes({"honest": 0.0}, weight=0.8)  # malicious votes
+    assert detector.trust["honest"] < before
+    assert detector.is_flagged("honest")  # framed
+
+
+def test_watchdog_vote_weight_validation():
+    with pytest.raises(ValueError):
+        WatchdogTrustDetector().absorb_votes({"x": 0.5}, weight=1.5)
+
+
+# ----------------------------------------------------------------------
+# Naive probe (ablation strawman)
+# ----------------------------------------------------------------------
+def test_naive_probe_convicts_any_replier():
+    detector = NaiveProbeDetector()
+    assert detector.probe_verdict(reply("honest-with-route", 40))
+    assert not detector.probe_verdict(None)
+    assert detector.probes_sent == 2

@@ -1,0 +1,69 @@
+"""Tests for wire-accurate byte accounting on the channel."""
+
+from repro.net import ChannelConfig, Network, Node, Packet
+from repro.net.codec import wire_size
+from repro.routing.packets import RouteRequest
+from repro.sim import Simulator
+
+
+def test_bytes_accumulate_with_wire_sizes():
+    sim = Simulator(seed=1)
+    net = Network(sim, ChannelConfig(account_bytes=True))
+    a = Node(sim, "a", position=(0, 0))
+    b = Node(sim, "b", position=(500, 0))
+    net.attach(a)
+    net.attach(b)
+    rreq = RouteRequest(
+        src="a", dst="b", originator="a", originator_seq=1,
+        destination="somewhere", destination_seq=0, rreq_id=1,
+    )
+    expected = wire_size(rreq)
+    a.send(rreq)
+    sim.run()
+    assert net.stats.bytes_sent == expected
+    assert net.stats.bytes_by_kind["RouteRequest"] == expected
+    assert rreq.size_bytes == expected
+
+
+def test_unregistered_packets_keep_nominal_size():
+    sim = Simulator(seed=1)
+    net = Network(sim, ChannelConfig(account_bytes=True))
+    a = Node(sim, "a", position=(0, 0))
+    b = Node(sim, "b", position=(500, 0))
+    net.attach(a)
+    net.attach(b)
+    a.send(Packet(src="a", dst="b"))  # base Packet has no codec entry
+    sim.run()
+    assert net.stats.bytes_sent == 64  # the nominal default
+
+
+def test_accounting_off_by_default():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    a = Node(sim, "a", position=(0, 0))
+    net.attach(a)
+    a.send(Packet(src="a", dst="ghost"))
+    sim.run()
+    assert net.stats.bytes_sent == 0
+
+
+def test_full_detection_byte_overhead_is_modest():
+    """End-to-end: a complete detection costs only a few kilobytes of
+    control traffic on the air."""
+    from repro.experiments.world import build_world
+    from tests.test_core_detection import report_suspect
+
+    world = build_world(seed=5, channel=ChannelConfig(account_bytes=True))
+    reporter = world.add_vehicle("rep", x=2200.0)
+    attacker = world.add_attacker("bh", x=2700.0)
+    world.sim.run(until=0.5)
+    before = world.net.stats.bytes_sent
+    report_suspect(world, reporter, attacker.address, 3, attacker.certificate)
+    world.sim.run(until=world.sim.now + 30.0)
+    assert world.all_records()[0].verdict == "black-hole"
+    spent = world.net.stats.bytes_sent - before
+    assert 0 < spent < 20_000
+    kinds = world.net.stats.bytes_by_kind
+    assert kinds["DetectionRequest"] > 0
+    assert kinds["RouteRequest"] > 0
+    assert kinds["MemberWarning"] > 0

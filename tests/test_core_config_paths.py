@@ -1,0 +1,120 @@
+"""Tests for BlackDP config variants and isolation-phase propagation."""
+
+import pytest
+
+from repro.core import BlackDpConfig, RevocationNoticePacket
+from repro.crypto import RevocationEntry
+
+from tests.helpers_blackdp import build_world
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BlackDpConfig(hello_timeout=0.0)
+    with pytest.raises(ValueError):
+        BlackDpConfig(probe_retries=-1)
+
+
+def test_single_discovery_mode_reports_after_first_hello_timeout():
+    """The probe-design ablation's companion: with second_discovery off,
+    the verifier reports after one failed Hello (faster, same verdict —
+    the confirmation step exists for politeness, not correctness, because
+    the CH-side probe still protects honest suspects)."""
+    config = BlackDpConfig(second_discovery=False)
+    world = build_world(config=config)
+    source = world.add_vehicle("src", x=100.0, config=config)
+    attacker = world.add_attacker("bh", x=900.0)
+    world.add_vehicle("dst", x=2500.0)
+    destination = world.vehicles[-1]
+    world.sim.run(until=0.5)
+    outcomes = []
+    world.verifiers["src"].establish_route(destination.address, outcomes.append)
+    world.sim.run(until=world.sim.now + 60.0)
+    outcome = outcomes[0]
+    assert outcome.discoveries == 1
+    assert outcome.verdict == "black-hole"
+
+
+def test_second_discovery_default_runs_two():
+    world = build_world()
+    source = world.add_vehicle("src", x=100.0)
+    world.add_attacker("bh", x=900.0)
+    world.add_vehicle("dst", x=2500.0)
+    destination = world.vehicles[-1]
+    world.sim.run(until=0.5)
+    outcomes = []
+    world.verifiers["src"].establish_route(destination.address, outcomes.append)
+    world.sim.run(until=world.sim.now + 60.0)
+    assert outcomes[0].discoveries == 2
+
+
+def test_revocation_notice_multi_hop_propagation():
+    """A notice with hops_remaining > 0 travels beyond adjacent CHs."""
+    world = build_world()
+    world.sim.run(until=0.2)
+    entry = RevocationEntry("pid-evil", serial=999, expires_at=1e6)
+    origin = world.rsus[4]  # cluster 5
+    for neighbor in origin.neighbor_rsus:
+        origin.send_backbone(
+            RevocationNoticePacket(
+                src=origin.address,
+                dst=neighbor.address,
+                entries=[entry],
+                hops_remaining=2,
+            )
+        )
+    world.sim.run(until=world.sim.now + 5.0)
+    # hops: 5 -> 4,6 (receive with 2) -> 3,7 (1) -> 2,8 (0); not 1 or 9.
+    revoked = [
+        index
+        for index in range(1, 11)
+        if world.service_for_cluster(index).crl.is_revoked_id("pid-evil")
+    ]
+    assert revoked == [2, 3, 4, 6, 7, 8]
+
+
+def test_warn_newcomers_disabled():
+    config = BlackDpConfig(warn_newcomers=False)
+    world = build_world(config=config)
+    reporter = world.add_vehicle("rep", x=2200.0, config=config)
+    attacker = world.add_attacker("bh", x=2700.0)
+    world.sim.run(until=0.5)
+    from tests.test_core_detection import report_suspect
+
+    report_suspect(world, reporter, attacker.address, 3, attacker.certificate)
+    world.sim.run(until=world.sim.now + 30.0)
+    newcomer = world.add_vehicle("newcomer", x=2500.0, config=config)
+    world.sim.run(until=world.sim.now + 2.0)
+    assert attacker.address not in newcomer.blacklist
+
+
+def test_detection_service_prune_housekeeping():
+    world = build_world()
+    service = world.service_for_cluster(1)
+    service.crl.add(RevocationEntry("pid-old", serial=5, expires_at=1.0))
+    world.rsus[0].membership.join.__self__  # membership object exists
+    world.sim.run(until=10.0)
+    service.prune()
+    assert not service.crl.is_revoked_id("pid-old")
+
+
+def test_congested_highway_many_reporters_one_examination():
+    """Five vehicles all report the same attacker: the verification
+    table deduplicates, one probe sequence runs, every reporter learns
+    the verdict."""
+    world = build_world()
+    reporters = [
+        world.add_vehicle(f"rep{i}", x=2100.0 + 40 * i) for i in range(5)
+    ]
+    attacker = world.add_attacker("bh", x=2700.0)
+    world.sim.run(until=0.5)
+    from tests.test_core_detection import report_suspect
+
+    for reporter in reporters:
+        report_suspect(world, reporter, attacker.address, 3, attacker.certificate)
+    world.sim.run(until=world.sim.now + 30.0)
+    records = world.service_for_cluster(3).records
+    assert len(records) == 1
+    assert records[0].packets == 6  # extra reports added nothing
+    for reporter in reporters:
+        assert attacker.address in reporter.blacklist

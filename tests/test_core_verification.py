@@ -1,0 +1,155 @@
+"""Integration tests for BlackDP source/destination verification."""
+
+import pytest
+
+from tests.helpers_blackdp import build_world
+
+
+def establish(world, source, destination, until=None):
+    outcomes = []
+    world.verifiers[source.node_id].establish_route(
+        destination.address, outcomes.append
+    )
+    if until is None:
+        world.sim.run()
+    else:
+        world.sim.run(until=world.sim.now + until)
+    assert outcomes, "verification never completed"
+    return outcomes[0]
+
+
+def test_destination_reply_verifies_directly():
+    world = build_world()
+    src = world.add_vehicle("src", x=100.0)
+    dst = world.add_vehicle("dst", x=800.0)
+    world.sim.run(until=0.5)
+    outcome = establish(world, src, dst)
+    assert outcome.verified
+    assert outcome.reason == "destination-reply"
+    assert outcome.route is not None
+    assert outcome.suspect is None
+    assert world.all_records() == []  # no detection triggered
+
+
+def test_multi_hop_destination_reply_verifies():
+    world = build_world()
+    src = world.add_vehicle("src", x=100.0)
+    world.add_vehicle("relay1", x=900.0)
+    world.add_vehicle("relay2", x=1700.0)
+    dst = world.add_vehicle("dst", x=2500.0)
+    world.sim.run(until=0.5)
+    outcome = establish(world, src, dst)
+    assert outcome.verified
+    assert outcome.reason == "destination-reply"
+
+
+def test_honest_intermediate_reply_verified_by_hello():
+    world = build_world()
+    src = world.add_vehicle("src", x=100.0)
+    relay = world.add_vehicle("relay", x=900.0)
+    mid = world.add_vehicle("mid", x=1700.0)
+    dst = world.add_vehicle("dst", x=2500.0)
+    world.sim.run(until=0.5)
+    # Prime mid with a genuine fresh route to dst.
+    primed = establish(world, mid, dst)
+    assert primed.verified
+    outcome = establish(world, src, dst)
+    assert outcome.verified
+    # mid replied from its table; the Hello round-trip confirmed it.
+    assert outcome.reason in ("hello-verified", "destination-reply")
+    assert world.all_records() == []
+
+
+def test_black_hole_route_not_verified_and_reported():
+    world = build_world()
+    src = world.add_vehicle("src", x=100.0)
+    attacker = world.add_attacker("bh", x=900.0)
+    dst = world.add_vehicle("dst", x=2500.0)  # out of attacker's reach
+    world.sim.run(until=0.5)
+    outcome = establish(world, src, dst)
+    assert not outcome.verified
+    assert outcome.prevented
+    assert outcome.suspect == attacker.address
+    assert outcome.verdict == "black-hole"
+    assert attacker.address in src.blacklist
+    records = world.all_records()
+    assert len(records) == 1
+    assert records[0].verdict == "black-hole"
+
+
+def test_unauthenticated_rrep_reported_immediately():
+    world = build_world()
+    src = world.add_vehicle("src", x=100.0)
+    attacker = world.add_attacker("bh", x=900.0, enrolled=False)
+    world.add_vehicle("dst", x=2500.0)
+    world.sim.run(until=0.5)
+    dst_address = world.vehicles[-1].address
+    outcomes = []
+    world.verifiers["src"].establish_route(dst_address, outcomes.append)
+    world.sim.run()
+    outcome = outcomes[0]
+    assert not outcome.verified
+    assert outcome.suspect == attacker.address
+    # Immediate report: only the first discovery happened.
+    assert outcome.discoveries == 1
+    records = world.all_records()
+    assert records and records[0].verdict == "black-hole"
+
+
+def test_second_discovery_used_before_reporting():
+    world = build_world()
+    src = world.add_vehicle("src", x=100.0)
+    world.add_attacker("bh", x=900.0)
+    world.add_vehicle("dst", x=2500.0)
+    world.sim.run(until=0.5)
+    outcome = establish(world, src, world.vehicles[-1])
+    assert outcome.discoveries == 2  # paper's confirmation re-discovery
+
+
+def test_blacklisted_attacker_replies_ignored():
+    world = build_world()
+    src = world.add_vehicle("src", x=100.0)
+    attacker = world.add_attacker("bh", x=900.0)
+    dst = world.add_vehicle("dst", x=1700.0)
+    world.sim.run(until=0.5)
+    first = establish(world, src, dst)
+    assert not first.verified
+    assert attacker.address in src.blacklist
+    # Second attempt: the attacker's replies are filtered, and the real
+    # destination (reachable via relay) wins.
+    second = establish(world, src, dst)
+    assert second.verified or second.reason == "all-repliers-blacklisted"
+
+
+def test_no_route_outcome_when_nothing_replies():
+    world = build_world()
+    src = world.add_vehicle("src", x=100.0)
+    world.sim.run(until=0.5)
+    outcomes = []
+    world.verifiers["src"].establish_route("pid-nonexistent", outcomes.append)
+    world.sim.run()
+    assert not outcomes[0].verified
+    assert outcomes[0].reason == "no-route"
+
+
+def test_verification_outcomes_accumulate_on_verifier():
+    world = build_world()
+    src = world.add_vehicle("src", x=100.0)
+    dst = world.add_vehicle("dst", x=800.0)
+    world.sim.run(until=0.5)
+    establish(world, src, dst)
+    verifier = world.verifiers["src"]
+    assert len(verifier.outcomes) == 1
+    assert verifier.outcomes[0].verified
+
+
+def test_concurrent_verification_same_destination_rejected():
+    world = build_world()
+    src = world.add_vehicle("src", x=100.0)
+    dst = world.add_vehicle("dst", x=800.0)
+    world.sim.run(until=0.5)
+    verifier = world.verifiers["src"]
+    verifier.establish_route(dst.address, lambda o: None)
+    with pytest.raises(RuntimeError):
+        verifier.establish_route(dst.address, lambda o: None)
+    world.sim.run()

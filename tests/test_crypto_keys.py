@@ -1,0 +1,89 @@
+"""Unit + property tests for the simulated signature scheme."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import generate_keypair, sign, verify
+from repro.crypto.keys import PublicKey
+
+
+def test_sign_then_verify_roundtrip():
+    kp = generate_keypair(random.Random(0))
+    message = b"RREP|seq=120|hops=3"
+    assert verify(kp.public, message, sign(kp.private, message))
+
+
+def test_verify_fails_on_tampered_message():
+    kp = generate_keypair(random.Random(0))
+    sig = sign(kp.private, b"RREP|seq=120|hops=3")
+    assert not verify(kp.public, b"RREP|seq=121|hops=3", sig)
+
+
+def test_verify_fails_with_wrong_key():
+    kp1 = generate_keypair(random.Random(0))
+    kp2 = generate_keypair(random.Random(1))
+    message = b"hello"
+    sig = sign(kp1.private, message)
+    assert not verify(kp2.public, message, sig)
+
+
+def test_verify_rejects_garbage_signatures_without_raising():
+    kp = generate_keypair(random.Random(0))
+    assert not verify(kp.public, b"m", b"short")
+    assert not verify(kp.public, b"m", b"\x00" * 32)
+    assert not verify(kp.public, b"m", None)  # type: ignore[arg-type]
+    assert not verify(kp.public, b"m", "not-bytes")  # type: ignore[arg-type]
+
+
+def test_keypairs_are_deterministic_per_stream():
+    a = generate_keypair(random.Random(7))
+    b = generate_keypair(random.Random(7))
+    assert a.public == b.public
+    assert a.private == b.private
+
+
+def test_keypairs_differ_across_streams():
+    a = generate_keypair(random.Random(7))
+    b = generate_keypair(random.Random(8))
+    assert a.public != b.public
+
+
+def test_public_key_length_enforced():
+    with pytest.raises(ValueError):
+        PublicKey(b"too-short")
+
+
+def test_private_key_repr_hides_secret():
+    kp = generate_keypair(random.Random(0))
+    assert kp.private.secret.hex() not in repr(kp.private)
+    assert repr(kp.private) == "PrivateKey(<hidden>)"
+
+
+@given(message=st.binary(max_size=256))
+def test_any_message_roundtrips(message):
+    kp = generate_keypair(random.Random(3))
+    assert verify(kp.public, message, sign(kp.private, message))
+
+
+@given(message=st.binary(min_size=1, max_size=128), flip=st.integers(min_value=0))
+def test_single_byte_tamper_always_detected(message, flip):
+    kp = generate_keypair(random.Random(3))
+    sig = sign(kp.private, message)
+    index = flip % len(message)
+    tampered = bytearray(message)
+    tampered[index] ^= 0x01
+    assert not verify(kp.public, bytes(tampered), sig)
+
+
+@given(seed_a=st.integers(0, 10_000), seed_b=st.integers(0, 10_000))
+def test_cross_key_signatures_never_verify(seed_a, seed_b):
+    kp_a = generate_keypair(random.Random(seed_a))
+    kp_b = generate_keypair(random.Random(seed_b))
+    sig = sign(kp_a.private, b"msg")
+    if kp_a.public == kp_b.public:
+        assert verify(kp_b.public, b"msg", sig)
+    else:
+        assert not verify(kp_b.public, b"msg", sig)

@@ -1,0 +1,100 @@
+"""Property tests over the detection machinery: for randomised
+reporter/attacker placements and behaviours, Figure 5's packet bands and
+the zero-false-positive guarantee must hold."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import AttackerPolicy
+from repro.core import DetectionRequest
+
+from tests.helpers_blackdp import build_world
+
+
+def report(world, reporter, suspect_address, suspect_cluster, cert):
+    reporter.send(
+        DetectionRequest(
+            src=reporter.address,
+            dst=reporter.current_ch,
+            reporter=reporter.address,
+            reporter_cluster=reporter.current_cluster,
+            suspect=suspect_address,
+            suspect_cluster=suspect_cluster,
+            suspect_certificate=cert,
+        )
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    reporter_cluster=st.integers(1, 9),
+    attacker_cluster=st.integers(1, 9),
+    seed=st.integers(0, 500),
+)
+def test_responsive_attacker_always_convicted_within_band(
+    reporter_cluster, attacker_cluster, seed
+):
+    world = build_world(seed=seed)
+    reporter = world.add_vehicle(
+        "rep", x=(reporter_cluster - 1) * 1000.0 + 300.0
+    )
+    attacker = world.add_attacker(
+        "bh", x=(attacker_cluster - 1) * 1000.0 + 600.0
+    )
+    world.sim.run(until=0.5)
+    report(world, reporter, attacker.address, attacker_cluster,
+           attacker.certificate)
+    world.sim.run(until=world.sim.now + 40.0)
+    records = world.all_records()
+    assert len(records) == 1
+    record = records[0]
+    assert record.verdict == "black-hole"
+    # Figure 5's single-attacker band, stationary suspect: 6 or 7.
+    assert record.packets in (6, 7)
+    expected = 6 if reporter_cluster == attacker_cluster else 7
+    assert record.packets == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    cluster=st.integers(1, 9),
+    seed=st.integers(0, 500),
+)
+def test_honest_suspect_never_convicted(cluster, seed):
+    world = build_world(seed=seed)
+    reporter = world.add_vehicle("rep", x=(cluster - 1) * 1000.0 + 300.0)
+    honest = world.add_vehicle("innocent", x=(cluster - 1) * 1000.0 + 600.0)
+    world.sim.run(until=0.5)
+    report(world, reporter, honest.address, cluster, honest.certificate)
+    world.sim.run(until=world.sim.now + 40.0)
+    records = world.all_records()
+    assert len(records) == 1
+    assert records[0].verdict == "clean"
+    assert records[0].packets in (4, 5)  # Figure 5's no-attacker band
+    for service in world.services:
+        assert not service.crl.is_revoked_id(honest.address)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    quiet_after=st.integers(0, 1),
+    seed=st.integers(0, 200),
+)
+def test_evasive_attacker_never_creates_false_positive(quiet_after, seed):
+    """Whatever the attacker's evasion, only IT may ever be convicted."""
+    world = build_world(seed=seed)
+    reporter = world.add_vehicle("rep", x=2200.0)
+    bystander = world.add_vehicle("bystander", x=2400.0)
+    attacker = world.add_attacker(
+        "bh", x=2700.0,
+        policy=AttackerPolicy(max_replies=quiet_after if quiet_after else None),
+    )
+    world.sim.run(until=0.5)
+    report(world, reporter, attacker.address, 3, attacker.certificate)
+    world.sim.run(until=world.sim.now + 40.0)
+    for service in world.services:
+        assert not service.crl.is_revoked_id(bystander.address)
+        assert not service.crl.is_revoked_id(reporter.address)
+    for record in world.all_records():
+        if record.verdict == "black-hole":
+            assert record.suspect == attacker.address

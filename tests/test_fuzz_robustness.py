@@ -1,0 +1,152 @@
+"""Fuzz robustness: storms of malformed/nonsense protocol packets must
+never crash the stack, corrupt the simulator, or frame an honest node."""
+
+import random
+
+import pytest
+
+from repro.clusters.packets import JoinReply, JoinRequest, LeaveNotice
+from repro.core.packets import (
+    DetectionForward,
+    DetectionRequest,
+    DetectionResult,
+    HelloReply,
+    MemberWarning,
+    SecureHello,
+)
+from repro.net import Node
+from repro.net.network import BROADCAST
+from repro.routing.packets import (
+    DataPacket,
+    HelloBeacon,
+    RouteError,
+    RouteReply,
+    RouteRequest,
+)
+
+from tests.helpers_blackdp import build_world
+
+
+def random_packet(rng, addresses):
+    """A syntactically valid packet with nonsense semantics."""
+    def addr():
+        return rng.choice(addresses + ["*", "", "ghost", "rsu-3", "pid-junk"])
+
+    choices = [
+        lambda: RouteRequest(
+            src=addr(), dst=rng.choice([BROADCAST, addr()]), originator=addr(),
+            originator_seq=rng.randint(-5, 10_000), destination=addr(),
+            destination_seq=rng.randint(-5, 10_000),
+            hop_count=rng.randint(0, 300), rreq_id=rng.randint(0, 50),
+            request_next_hop=rng.random() < 0.5,
+            claim_check=addr() if rng.random() < 0.3 else None,
+        ),
+        lambda: RouteReply(
+            src=addr(), dst=addr(), originator=addr(), destination=addr(),
+            destination_seq=rng.randint(-5, 1_000_000),
+            hop_count=rng.randint(0, 300), lifetime=rng.uniform(-5, 100),
+            replied_by=addr(), next_hop_claim=addr(),
+            cluster_of_replier=rng.randint(-3, 30),
+            signature=bytes(rng.randbytes(rng.choice([0, 16, 32, 64]))),
+        ),
+        lambda: RouteError(
+            src=addr(), dst=BROADCAST,
+            unreachable=[(addr(), rng.randint(-5, 100)) for _ in range(rng.randint(0, 4))],
+        ),
+        lambda: HelloBeacon(src=addr(), dst=BROADCAST, originator=addr(),
+                            originator_seq=rng.randint(-5, 100)),
+        lambda: DataPacket(src=addr(), dst=addr(), originator=addr(),
+                           final_destination=addr(), payload=rng.random(),
+                           hops_travelled=rng.randint(0, 500)),
+        lambda: JoinRequest(src=addr(), dst=BROADCAST, speed=rng.uniform(-10, 500),
+                            position=(rng.uniform(-1e5, 1e5), rng.uniform(-1e4, 1e4)),
+                            direction=rng.choice([-1, 0, 1, 7])),
+        lambda: JoinReply(src=addr(), dst=addr(), cluster_head=addr(),
+                          cluster_index=rng.randint(-5, 50)),
+        lambda: LeaveNotice(src=addr(), dst=addr()),
+        lambda: SecureHello(src=addr(), dst=addr(), originator=addr(),
+                            target=addr(), nonce=rng.randint(-5, 10**9)),
+        lambda: HelloReply(src=addr(), dst=addr(), originator=addr(),
+                           responder=addr(), nonce=rng.randint(-5, 10**9)),
+        lambda: DetectionRequest(src=addr(), dst=addr(), reporter=addr(),
+                                 reporter_cluster=rng.randint(-5, 50),
+                                 suspect=addr(),
+                                 suspect_cluster=rng.randint(-5, 50)),
+        lambda: DetectionForward(src=addr(), dst=addr(), reporter=addr(),
+                                 suspect=addr(),
+                                 suspect_cluster=rng.randint(-5, 50),
+                                 phase=rng.choice(["probe1", "probe2", "junk"]),
+                                 rrep1_seq=rng.choice([None, rng.randint(0, 999)]),
+                                 packets_so_far=rng.randint(0, 99),
+                                 forwards_used=rng.randint(0, 9)),
+        lambda: DetectionResult(src=addr(), dst=addr(), reporter=addr(),
+                                suspect=addr(),
+                                verdict=rng.choice(["black-hole", "clean", "junk"]),
+                                relay=rng.random() < 0.5),
+        lambda: MemberWarning(src=addr(), dst=rng.choice([BROADCAST, addr()]),
+                              revoked_ids=[addr() for _ in range(rng.randint(0, 3))]),
+    ]
+    return rng.choice(choices)()
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_packet_storm_never_crashes_the_stack(seed):
+    world = build_world(seed=seed)
+    honest = [
+        world.add_vehicle(f"veh-{i}", x=500.0 + 400.0 * i) for i in range(6)
+    ]
+    world.sim.run(until=0.5)
+    rng = random.Random(seed)
+    addresses = [v.address for v in honest] + [r.address for r in world.rsus]
+    injector = Node(world.sim, "injector", position=(1500.0, 50.0))
+    world.net.attach(injector)
+    for _ in range(300):
+        injector.set_position((rng.uniform(0, 10_000), rng.uniform(0, 200)))
+        injector.send(random_packet(rng, addresses))
+        if rng.random() < 0.3:
+            world.sim.run(until=world.sim.now + rng.uniform(0.0, 0.2))
+    world.sim.run(until=world.sim.now + 30.0)
+
+    # Nothing honest was convicted by the garbage.
+    honest_addresses = {v.address for v in honest}
+    for service in world.services:
+        for address in honest_addresses:
+            assert not service.crl.is_revoked_id(address)
+    for record in world.all_records():
+        if record.verdict == "black-hole":
+            assert record.suspect not in honest_addresses
+    # The network is still functional end to end.
+    outcomes = []
+    world.verifiers["veh-0"].establish_route(honest[3].address, outcomes.append)
+    world.sim.run(until=world.sim.now + 30.0)
+    assert outcomes and outcomes[0].verified
+
+
+def test_fuzzed_wire_bytes_against_full_decoder_corpus():
+    """Encode random valid packets, flip random bytes, decode: every
+    outcome is either a clean parse or a CodecError — never a crash."""
+    from repro.net.codec import CodecError, decode, encode
+
+    rng = random.Random(77)
+    world = build_world(seed=7)
+    vehicle = world.add_vehicle("v", x=500.0)
+    addresses = [vehicle.address, "rsu-1", "*"]
+    survived = parsed = rejected = 0
+    for _ in range(300):
+        packet = random_packet(rng, addresses)
+        try:
+            data = bytearray(encode(packet))
+        except CodecError:
+            continue
+        flips = rng.randint(0, 6)
+        for _ in range(flips):
+            index = rng.randrange(len(data))
+            data[index] ^= 1 << rng.randrange(8)
+        try:
+            decode(bytes(data))
+            parsed += 1
+        except CodecError:
+            rejected += 1
+        survived += 1
+    assert survived > 200
+    assert parsed + rejected == survived

@@ -1,0 +1,132 @@
+"""Tests for infrastructure-assisted (V2I) data routing."""
+
+import pytest
+
+from repro.clusters.infrastructure_routing import (
+    install_infrastructure_routing,
+    send_via_infrastructure,
+)
+
+from tests.helpers_blackdp import build_world
+
+
+def build_v2i_world(seed=51):
+    world = build_world(seed=seed)
+    services = install_infrastructure_routing(world.rsus)
+    return world, services
+
+
+def test_directory_propagates_memberships():
+    world, services = build_v2i_world()
+    vehicle = world.add_vehicle("v", x=2300.0)  # cluster 3
+    world.sim.run(until=1.0)
+    for service in services:
+        assert service.directory.get(vehicle.address) == 3
+
+
+def test_directory_tracks_cluster_crossings():
+    world, services = build_v2i_world()
+    vehicle = world.add_vehicle("v", x=2950.0, speed=25.0)
+    world.sim.run(until=1.0)
+    assert services[0].directory[vehicle.address] == 3
+    world.sim.run(until=10.0)  # crossed into cluster 4
+    for service in services:
+        assert service.directory.get(vehicle.address) == 4
+
+
+def test_tunnelled_delivery_across_disconnected_fabric():
+    """Source and destination are 8 km apart with no relays between:
+    the ad hoc path cannot exist, the V2I path delivers."""
+    world, services = build_v2i_world()
+    source = world.add_vehicle("src", x=700.0)
+    destination = world.add_vehicle("dst", x=8700.0)
+    world.sim.run(until=1.0)
+    received = []
+    destination.aodv.add_data_sink(lambda p: received.append(p.payload))
+    assert send_via_infrastructure(source, destination.address, "hello-far")
+    world.sim.run(until=world.sim.now + 2.0)
+    assert received == ["hello-far"]
+    entry = services[0]
+    assert entry.stats.tunnelled_out == 1
+    exit_service = services[8]  # cluster 9 hosts the destination
+    assert exit_service.stats.tunnelled_in == 1
+    assert exit_service.stats.delivered == 1
+
+
+def test_same_cluster_delivery_needs_no_tunnel():
+    world, services = build_v2i_world()
+    source = world.add_vehicle("src", x=2200.0)
+    destination = world.add_vehicle("dst", x=2700.0)
+    world.sim.run(until=1.0)
+    received = []
+    destination.aodv.add_data_sink(lambda p: received.append(p.payload))
+    send_via_infrastructure(source, destination.address, "hi")
+    world.sim.run(until=world.sim.now + 2.0)
+    assert received == ["hi"]
+    assert all(s.stats.tunnelled_out == 0 for s in services)
+
+
+def test_unknown_destination_counted_not_crashed():
+    world, services = build_v2i_world()
+    source = world.add_vehicle("src", x=2200.0)
+    world.sim.run(until=1.0)
+    send_via_infrastructure(source, "pid-never-joined", "x")
+    world.sim.run(until=world.sim.now + 2.0)
+    assert services[2].stats.unknown_destination == 1
+
+
+def test_vehicle_without_cluster_head_cannot_send():
+    from repro.mobility import VehicleMotion
+    from repro.vehicles import VehicleNode
+
+    world, services = build_v2i_world()
+    loner = VehicleNode(
+        world.sim, world.highway, "loner",
+        VehicleMotion(entry_time=0.0, entry_x=100.0, speed=0.0, lane_y=25.0),
+    )
+    world.net.attach(loner)  # never activated: no CH
+    assert not send_via_infrastructure(loner, "anyone", "x")
+
+
+def test_departed_destination_is_stale_entry():
+    world, services = build_v2i_world()
+    source = world.add_vehicle("src", x=700.0)
+    destination = world.add_vehicle("dst", x=8700.0)
+    world.sim.run(until=1.0)
+    # The destination leaves the highway, but we race the announcement by
+    # tunnelling to its last known cluster.
+    target_address = destination.address
+    last_cluster = services[0].directory[target_address]
+    destination.leave_highway()
+    from repro.clusters.infrastructure_routing import TunnelledData
+
+    services[0].rsu.send_backbone(
+        TunnelledData(
+            src=services[0].rsu.address,
+            dst=f"rsu-{last_cluster}",
+            originator=source.address,
+            final_destination=target_address,
+            payload="too-late",
+        )
+    )
+    world.sim.run(until=world.sim.now + 2.0)
+    assert services[last_cluster - 1].stats.stale_entry == 1
+
+
+def test_aodv_transit_data_still_flows_through_rsus():
+    """The chained handler must not break ordinary AODV forwarding
+    through an RSU (routes that happen to pass infrastructure)."""
+    world, services = build_v2i_world()
+    # Sparse: the only radio path crosses rsu-1 (vehicles 1.9 km apart).
+    a = world.add_vehicle("a", x=50.0)
+    b = world.add_vehicle("b", x=1450.0)
+    world.sim.run(until=1.0)
+    results = []
+    a.aodv.discover(b.address, results.append)
+    world.sim.run(until=world.sim.now + 5.0)
+    assert results[0].succeeded
+    received = []
+    b.aodv.add_data_sink(lambda p: received.append(p.payload))
+    a.aodv.send_data(b.address, payload="via-rsu")
+    world.sim.run(until=world.sim.now + 2.0)
+    assert received == ["via-rsu"]

@@ -1,0 +1,78 @@
+"""Tests for confusion matrices and series summaries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import ConfusionMatrix, summarize
+
+
+def test_confusion_rates():
+    m = ConfusionMatrix()
+    for _ in range(8):
+        m.record(predicted=True, actual=True)
+    for _ in range(2):
+        m.record(predicted=False, actual=True)
+    for _ in range(9):
+        m.record(predicted=False, actual=False)
+    m.record(predicted=True, actual=False)
+    assert m.total == 20
+    assert m.accuracy == pytest.approx(17 / 20)
+    assert m.true_positive_rate == pytest.approx(0.8)
+    assert m.false_negative_rate == pytest.approx(0.2)
+    assert m.false_positive_rate == pytest.approx(0.1)
+    assert m.precision == pytest.approx(8 / 9)
+
+
+def test_confusion_empty_is_zero_not_nan():
+    m = ConfusionMatrix()
+    assert m.accuracy == 0.0
+    assert m.true_positive_rate == 0.0
+    assert m.false_positive_rate == 0.0
+
+
+def test_confusion_merge():
+    a = ConfusionMatrix(tp=1, fp=2, tn=3, fn=4)
+    b = ConfusionMatrix(tp=10, fp=20, tn=30, fn=40)
+    a.merge(b)
+    assert (a.tp, a.fp, a.tn, a.fn) == (11, 22, 33, 44)
+
+
+def test_confusion_as_dict_keys():
+    d = ConfusionMatrix(tp=1, fn=1).as_dict()
+    assert d["tpr"] == 0.5
+    assert set(d) == {"tp", "fp", "tn", "fn", "accuracy", "tpr", "fpr", "fnr"}
+
+
+@given(
+    outcomes=st.lists(
+        st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=100
+    )
+)
+def test_confusion_counts_partition_total(outcomes):
+    m = ConfusionMatrix()
+    for predicted, actual in outcomes:
+        m.record(predicted=predicted, actual=actual)
+    assert m.total == len(outcomes)
+    assert 0.0 <= m.accuracy <= 1.0
+
+
+def test_summarize_basic():
+    s = summarize([4, 6, 6, 8])
+    assert s.count == 4
+    assert s.mean == 6.0
+    assert s.band() == (4, 8)
+    assert s.std == pytest.approx(2 ** 0.5)
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+@given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+def test_summarize_bounds(values):
+    s = summarize(values)
+    tolerance = 1e-6 * max(1.0, abs(s.minimum), abs(s.maximum))
+    assert s.minimum - tolerance <= s.mean <= s.maximum + tolerance
+    assert s.std >= 0

@@ -1,0 +1,102 @@
+"""Tests for highway geometry, clustering and overlap zones."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mobility import Highway
+
+
+def test_table1_highway_has_ten_clusters():
+    hw = Highway()  # defaults are the Table I values
+    assert hw.num_clusters == 10
+    assert hw.length == 10_000.0
+    assert hw.width == 200.0
+
+
+def test_cluster_index_is_one_based_and_monotone():
+    hw = Highway()
+    assert hw.cluster_index_at(0.0) == 1
+    assert hw.cluster_index_at(999.9) == 1
+    assert hw.cluster_index_at(1000.0) == 2
+    assert hw.cluster_index_at(9500.0) == 10
+    assert hw.cluster_index_at(10_000.0) == 10  # end belongs to last cluster
+
+
+def test_cluster_index_outside_highway_raises():
+    hw = Highway()
+    with pytest.raises(ValueError):
+        hw.cluster_index_at(-1.0)
+    with pytest.raises(ValueError):
+        hw.cluster_index_at(10_000.1)
+
+
+def test_cluster_bounds_and_center():
+    hw = Highway()
+    assert hw.cluster_bounds(1) == (0.0, 1000.0)
+    assert hw.cluster_bounds(10) == (9000.0, 10_000.0)
+    assert hw.cluster_center(3) == 2500.0
+
+
+def test_rsu_position_is_cluster_center_mid_road():
+    hw = Highway()
+    assert hw.rsu_position(1) == (500.0, 100.0)
+    assert hw.rsu_position(10) == (9500.0, 100.0)
+
+
+def test_partial_final_cluster():
+    hw = Highway(length=2500.0, cluster_length=1000.0)
+    assert hw.num_clusters == 3
+    assert hw.cluster_bounds(3) == (2000.0, 2500.0)
+    assert hw.cluster_center(3) == 2250.0
+    assert hw.cluster_index_at(2400.0) == 3
+
+
+def test_covering_clusters_with_1000m_range():
+    hw = Highway()
+    # x=500 is the RSU-1 position; RSU-2 at 1500 is exactly 1000 m away
+    assert hw.covering_clusters(500.0, rsu_range=1000.0) == [1, 2]
+    # an RSU position sees its own cluster plus both neighbours at range 1000
+    assert hw.covering_clusters(4500.0, rsu_range=1000.0) == [4, 5, 6]
+    assert hw.covering_clusters(5000.0, rsu_range=1000.0) == [5, 6]
+
+
+def test_overlap_zone_detection():
+    hw = Highway()
+    assert hw.in_overlap_zone(1000.0, rsu_range=1000.0)  # between RSU 1 and 2
+    assert not hw.in_overlap_zone(500.0, rsu_range=501.0)  # only RSU 1
+
+
+def test_lane_y_spreads_lanes_across_width():
+    hw = Highway(lanes=4)
+    ys = [hw.lane_y(i) for i in range(4)]
+    assert ys == [25.0, 75.0, 125.0, 175.0]
+    with pytest.raises(ValueError):
+        hw.lane_y(4)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        Highway(length=0)
+    with pytest.raises(ValueError):
+        Highway(lanes=0)
+    with pytest.raises(ValueError):
+        Highway(cluster_length=20_000.0)
+
+
+@given(x=st.floats(0.0, 10_000.0, allow_nan=False))
+def test_every_point_belongs_to_exactly_one_cluster(x):
+    hw = Highway()
+    index = hw.cluster_index_at(x)
+    start, end = hw.cluster_bounds(index)
+    assert start <= x <= end
+
+
+@given(
+    x=st.floats(0.0, 10_000.0, allow_nan=False),
+    rsu_range=st.floats(500.0, 2000.0, allow_nan=False),
+)
+def test_own_cluster_rsu_always_covers_when_range_geq_length(x, rsu_range):
+    hw = Highway()
+    if rsu_range >= hw.cluster_length:
+        assert hw.cluster_index_at(x) in hw.covering_clusters(x, rsu_range)

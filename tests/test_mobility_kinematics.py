@@ -1,0 +1,110 @@
+"""Tests for vehicle kinematics and placement draws."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mobility import (
+    Highway,
+    VehicleMotion,
+    kmh_to_ms,
+    ms_to_kmh,
+    random_positions_in_cluster,
+    random_speed_kmh,
+    uniform_positions,
+)
+
+
+def test_unit_conversions_roundtrip():
+    assert kmh_to_ms(90.0) == pytest.approx(25.0)
+    assert ms_to_kmh(kmh_to_ms(72.5)) == pytest.approx(72.5)
+
+
+def test_constant_speed_position():
+    m = VehicleMotion(entry_time=10.0, entry_x=0.0, speed=20.0, lane_y=25.0)
+    assert m.x(10.0) == 0.0
+    assert m.x(15.0) == 100.0
+    assert m.position(15.0) == (100.0, 25.0)
+
+
+def test_query_before_entry_raises():
+    m = VehicleMotion(entry_time=10.0, entry_x=0.0, speed=20.0)
+    with pytest.raises(ValueError):
+        m.x(9.0)
+
+
+def test_speed_change_is_continuous():
+    m = VehicleMotion(entry_time=0.0, entry_x=0.0, speed=20.0)
+    m.set_speed(10.0, 5.0)
+    assert m.x(10.0) == 200.0  # position at the change point
+    assert m.x(12.0) == 210.0  # new slope afterwards
+    assert m.speed_at(9.9) == 20.0
+    assert m.speed_at(10.0) == 5.0
+
+
+def test_multiple_speed_changes():
+    m = VehicleMotion(entry_time=0.0, entry_x=0.0, speed=10.0)
+    m.set_speed(10.0, 0.0)   # stop at x=100
+    m.set_speed(20.0, -10.0)  # reverse
+    assert m.x(15.0) == 100.0
+    assert m.x(25.0) == 50.0
+
+
+def test_non_chronological_speed_change_rejected():
+    m = VehicleMotion(entry_time=0.0, entry_x=0.0, speed=10.0)
+    m.set_speed(10.0, 5.0)
+    with pytest.raises(ValueError):
+        m.set_speed(5.0, 1.0)
+
+
+def test_time_to_reach_forward():
+    m = VehicleMotion(entry_time=0.0, entry_x=100.0, speed=25.0)
+    assert m.time_to_reach(600.0, after=0.0) == pytest.approx(20.0)
+    assert m.time_to_reach(100.0, after=0.0) == 0.0
+
+
+def test_time_to_reach_unreachable():
+    m = VehicleMotion(entry_time=0.0, entry_x=100.0, speed=25.0)
+    assert m.time_to_reach(0.0, after=0.0) is None
+    m.set_speed(1.0, 0.0)
+    assert m.time_to_reach(600.0, after=2.0) is None
+
+
+@given(
+    entry_x=st.floats(0, 10_000, allow_nan=False),
+    speed=st.floats(-40, 40, allow_nan=False),
+    dt=st.floats(0, 500, allow_nan=False),
+)
+def test_position_is_linear_in_time(entry_x, speed, dt):
+    m = VehicleMotion(entry_time=0.0, entry_x=entry_x, speed=speed)
+    assert m.x(dt) == pytest.approx(entry_x + speed * dt)
+
+
+@given(seed=st.integers(0, 1000))
+def test_speed_draws_stay_in_table1_band(seed):
+    rng = random.Random(seed)
+    for _ in range(20):
+        assert 50.0 <= random_speed_kmh(rng) <= 90.0
+
+
+def test_speed_band_validation():
+    with pytest.raises(ValueError):
+        random_speed_kmh(random.Random(0), low=90, high=50)
+
+
+def test_uniform_positions_on_highway():
+    hw = Highway()
+    xs = uniform_positions(random.Random(0), hw, 100)
+    assert len(xs) == 100
+    assert all(hw.contains_x(x) for x in xs)
+    with pytest.raises(ValueError):
+        uniform_positions(random.Random(0), hw, -1)
+
+
+def test_positions_in_cluster_stay_in_bounds():
+    hw = Highway()
+    xs = random_positions_in_cluster(random.Random(0), hw, 7, 50)
+    start, end = hw.cluster_bounds(7)
+    assert all(start <= x <= end for x in xs)

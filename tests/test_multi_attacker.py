@@ -1,0 +1,34 @@
+"""Tests for simultaneous multi-attacker campaigns."""
+
+import pytest
+
+from repro.experiments.multi_attacker import run_multi_attacker_trial
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_multi_attacker_trial(attacker_clusters=(2, 5, 8), seed=77)
+
+
+def test_every_attacker_eventually_convicted(result):
+    assert result.attackers == 3
+    assert result.all_detected
+    assert result.all_routes_verified
+
+
+def test_no_false_positives_under_concurrent_campaigns(result):
+    assert result.false_positives == 0
+
+
+def test_per_detection_packet_counts_stay_in_band(result):
+    assert len(result.packets) == 3
+    assert all(packets in range(6, 10) for packets in result.packets)
+
+
+def test_two_attackers_same_cluster():
+    result = run_multi_attacker_trial(attacker_clusters=(3, 3), seed=78)
+    # Both planted in cluster 3; iterative verification flushes both out.
+    assert result.attackers == 2
+    assert result.all_detected
+    assert result.false_positives == 0
+    assert result.all_routes_verified

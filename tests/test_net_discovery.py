@@ -1,0 +1,224 @@
+"""Tests for secure neighbour discovery: mutual authentication and the
+position/speed/teleport plausibility checks."""
+
+import random
+
+import pytest
+
+from repro.crypto import TrustedAuthorityNetwork
+from repro.net import Network, Node
+from repro.net.discovery import NeighborBeacon, SecureNeighborDiscovery
+from repro.net.network import BROADCAST
+from repro.sim import Simulator
+
+
+def build(seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    ta_net = TrustedAuthorityNetwork(random.Random(seed))
+    ta = ta_net.add_authority("ta1")
+    return sim, net, ta_net, ta
+
+
+def add_snd_node(sim, net, ta_net, ta, name, x, **kwargs):
+    node = Node(sim, name, position=(x, 0.0))
+    net.attach(node)
+    enrolment = ta.enroll(name, now=sim.now)
+    node.set_address(enrolment.certificate.subject_id)
+    snd = SecureNeighborDiscovery(
+        node,
+        ta_net.public_key,
+        identity=lambda: (enrolment.certificate, enrolment.keypair.private),
+        **kwargs,
+    )
+    snd.start()
+    return node, snd
+
+
+def test_mutual_authentication_within_range():
+    sim, net, ta_net, ta = build()
+    a, snd_a = add_snd_node(sim, net, ta_net, ta, "a", 0.0)
+    b, snd_b = add_snd_node(sim, net, ta_net, ta, "b", 500.0)
+    sim.run(until=2.5)
+    assert snd_a.is_authenticated(b.address)
+    assert snd_b.is_authenticated(a.address)
+    assert snd_a.stats.accepted >= 2
+    snd_a.stop(), snd_b.stop()
+
+
+def test_out_of_range_nodes_never_appear():
+    sim, net, ta_net, ta = build()
+    a, snd_a = add_snd_node(sim, net, ta_net, ta, "a", 0.0)
+    c, snd_c = add_snd_node(sim, net, ta_net, ta, "c", 5000.0)
+    sim.run(until=2.5)
+    assert not snd_a.is_authenticated(c.address)
+    snd_a.stop(), snd_c.stop()
+
+
+def test_unsigned_beacons_rejected():
+    sim, net, ta_net, ta = build()
+    a, snd_a = add_snd_node(sim, net, ta_net, ta, "a", 0.0)
+    rogue = Node(sim, "rogue", position=(300.0, 0.0))
+    net.attach(rogue)
+    rogue.send(
+        NeighborBeacon(src="rogue", dst=BROADCAST,
+                       claimed_position=(300.0, 0.0), beacon_seq=1)
+    )
+    sim.run(until=1.0)
+    assert not snd_a.is_authenticated("rogue")
+    assert snd_a.stats.rejected_unsigned == 1
+    snd_a.stop()
+
+
+def test_wrong_identity_certificate_rejected():
+    """A beacon signed under a certificate for a different pseudonym."""
+    sim, net, ta_net, ta = build()
+    a, snd_a = add_snd_node(sim, net, ta_net, ta, "a", 0.0)
+    stolen = ta.enroll("victim", now=sim.now)
+    from repro.crypto.keys import sign
+
+    rogue = Node(sim, "rogue", position=(300.0, 0.0))
+    net.attach(rogue)
+    beacon = NeighborBeacon(
+        src="rogue", dst=BROADCAST, claimed_position=(300.0, 0.0), beacon_seq=1,
+        certificate=stolen.certificate,
+    )
+    beacon.signature = sign(stolen.keypair.private, beacon.signed_payload())
+    rogue.send(beacon)
+    sim.run(until=1.0)
+    # The certificate binds the victim's pseudonym, not "rogue".
+    assert snd_a.stats.rejected_certificate == 1
+    snd_a.stop()
+
+
+def test_position_lie_beyond_radio_range_rejected():
+    sim, net, ta_net, ta = build()
+    a, snd_a = add_snd_node(sim, net, ta_net, ta, "a", 0.0)
+    liar_enrolment = ta.enroll("liar", now=sim.now)
+    from repro.crypto.keys import sign
+
+    liar = Node(sim, "liar", position=(300.0, 0.0))
+    net.attach(liar)
+    liar.set_address(liar_enrolment.certificate.subject_id)
+    beacon = NeighborBeacon(
+        src=liar.address, dst=BROADCAST,
+        claimed_position=(9000.0, 0.0),  # physically impossible to hear
+        beacon_seq=1, certificate=liar_enrolment.certificate,
+    )
+    beacon.signature = sign(liar_enrolment.keypair.private, beacon.signed_payload())
+    liar.send(beacon)
+    sim.run(until=1.0)
+    assert not snd_a.is_authenticated(liar.address)
+    assert snd_a.stats.rejected_position == 1
+    snd_a.stop()
+
+
+def test_speed_lie_rejected():
+    sim, net, ta_net, ta = build()
+    a, snd_a = add_snd_node(sim, net, ta_net, ta, "a", 0.0)
+    enrolment = ta.enroll("fast", now=sim.now)
+    from repro.crypto.keys import sign
+
+    speeder = Node(sim, "fast", position=(300.0, 0.0))
+    net.attach(speeder)
+    speeder.set_address(enrolment.certificate.subject_id)
+    beacon = NeighborBeacon(
+        src=speeder.address, dst=BROADCAST, claimed_position=(300.0, 0.0),
+        claimed_speed=500.0, beacon_seq=1, certificate=enrolment.certificate,
+    )
+    beacon.signature = sign(enrolment.keypair.private, beacon.signed_payload())
+    speeder.send(beacon)
+    sim.run(until=1.0)
+    assert snd_a.stats.rejected_speed == 1
+    snd_a.stop()
+
+
+def test_teleporting_claims_rejected():
+    sim, net, ta_net, ta = build()
+    a, snd_a = add_snd_node(sim, net, ta_net, ta, "a", 0.0)
+    enrolment = ta.enroll("jumper", now=sim.now)
+    from repro.crypto.keys import sign
+
+    jumper = Node(sim, "jumper", position=(300.0, 0.0))
+    net.attach(jumper)
+    jumper.set_address(enrolment.certificate.subject_id)
+
+    def send_claim(x, seq):
+        beacon = NeighborBeacon(
+            src=jumper.address, dst=BROADCAST, claimed_position=(x, 0.0),
+            claimed_speed=20.0, beacon_seq=seq, certificate=enrolment.certificate,
+        )
+        beacon.signature = sign(enrolment.keypair.private, beacon.signed_payload())
+        jumper.send(beacon)
+
+    send_claim(300.0, 1)
+    sim.run(until=0.5)
+    send_claim(900.0, 2)  # 600 m in 0.5 s: impossible at max 70 m/s
+    sim.run(until=1.0)
+    assert snd_a.stats.rejected_teleport == 1
+    # Its original, plausible record is what survives.
+    assert snd_a.neighbors[jumper.address].position == (300.0, 0.0)
+    snd_a.stop()
+
+
+def test_replayed_beacon_rejected():
+    sim, net, ta_net, ta = build()
+    a, snd_a = add_snd_node(sim, net, ta_net, ta, "a", 0.0)
+    enrolment = ta.enroll("replayer", now=sim.now)
+    from repro.crypto.keys import sign
+
+    node = Node(sim, "replayer", position=(300.0, 0.0))
+    net.attach(node)
+    node.set_address(enrolment.certificate.subject_id)
+    beacon = NeighborBeacon(
+        src=node.address, dst=BROADCAST, claimed_position=(300.0, 0.0),
+        claimed_speed=5.0, beacon_seq=1, certificate=enrolment.certificate,
+    )
+    beacon.signature = sign(enrolment.keypair.private, beacon.signed_payload())
+    node.send(beacon)
+    sim.run(until=0.2)
+    node.send(beacon)  # identical sequence number: replay
+    sim.run(until=0.5)
+    assert snd_a.stats.rejected_replay == 1
+    snd_a.stop()
+
+
+def test_silent_neighbors_expire():
+    sim, net, ta_net, ta = build()
+    a, snd_a = add_snd_node(sim, net, ta_net, ta, "a", 0.0)
+    b, snd_b = add_snd_node(sim, net, ta_net, ta, "b", 500.0)
+    sim.run(until=2.0)
+    assert snd_a.is_authenticated(b.address)
+    snd_b.stop()  # b goes silent
+    sim.run(until=10.0)
+    assert not snd_a.is_authenticated(b.address)
+    assert b.address not in {r.address for r in snd_a.authenticated_neighbors()}
+    snd_a.stop()
+
+
+def test_revoked_senders_rejected():
+    sim, net, ta_net, ta = build()
+    blacklist = set()
+    node = Node(sim, "a", position=(0.0, 0.0))
+    net.attach(node)
+    enrolment = ta.enroll("a", now=sim.now)
+    snd = SecureNeighborDiscovery(
+        node, ta_net.public_key,
+        identity=lambda: (enrolment.certificate, enrolment.keypair.private),
+        is_revoked=lambda address: address in blacklist,
+    )
+    snd.start()
+    b, snd_b = add_snd_node(sim, net, ta_net, ta, "b", 500.0)
+    blacklist.add(b.address)
+    sim.run(until=2.0)
+    assert not snd.is_authenticated(b.address)
+    assert snd.stats.rejected_revoked >= 1
+    snd.stop(), snd_b.stop()
+
+
+def test_interval_validation():
+    sim, net, ta_net, ta = build()
+    node = Node(sim, "a")
+    net.attach(node)
+    with pytest.raises(ValueError):
+        SecureNeighborDiscovery(node, ta_net.public_key, interval=0.0)

@@ -1,0 +1,166 @@
+"""The paper's §III-B.3 illustrative example, reproduced step by step.
+
+Figure 3's scenario: a highway of three clusters headed by C1, C2, C3;
+vehicles {v1, v2, v3} in C1 and {v4, vB1, vB2, v5} in C2 with v7 beyond;
+two TA nodes with ta1 responsible for {C1, C2} and ta2 for {C3}.  v1
+wants a route to v7; the cooperative pair vB1/vB2 answers with a fake
+high-sequence route; verification fails; C1 forwards the d_req to C2;
+C2 runs the disposable-identity double probe, chases the disclosed
+teammate, and isolation propagates through ta1 to ta2 and the
+neighbouring cluster heads.
+"""
+
+import pytest
+
+from repro.attacks import make_cooperative_pair
+from repro.clusters import build_rsu_chain
+from repro.core import install_detection, install_verifier
+from repro.crypto import TrustedAuthorityNetwork
+from repro.mobility import Highway, VehicleMotion
+from repro.net import Network
+from repro.sim import Simulator
+from repro.vehicles import VehicleNode
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    sim = Simulator(seed=33)
+    net = Network(sim)
+    highway = Highway(length=3000.0)  # three clusters, C1..C3
+    rsus = build_rsu_chain(sim, net, highway)
+    ta_net = TrustedAuthorityNetwork(sim.rng("crypto"))
+    ta1 = ta_net.add_authority("ta1")
+    ta2 = ta_net.add_authority("ta2")
+    ta_net.assign_region("ta1", ["rsu-1", "rsu-2"])  # {C1, C2} ∈ ta1
+    ta_net.assign_region("ta2", ["rsu-3"])           # {C3} ∈ ta2
+    for rsu in rsus:
+        enrolment = ta_net.authority_for_cluster(rsu.node_id).enroll_infrastructure(
+            rsu.node_id, now=0.0
+        )
+        rsu.aodv.identity = lambda e=enrolment: (e.certificate, e.keypair.private)
+    services = [install_detection(rsu, ta_net) for rsu in rsus]
+
+    def vehicle(name, x, authority):
+        node = VehicleNode(
+            sim, highway, name,
+            VehicleMotion(entry_time=0.0, entry_x=x, speed=0.0, lane_y=25.0),
+            enrolment=authority.enroll(name, now=0.0), authority=authority,
+        )
+        net.attach(node)
+        node.activate()
+        return node
+
+    # C1 members: v1 (the originator), v2, v3 — all honest vehicles run
+    # the BlackDP layer (verification + member-warning handling).
+    v1 = vehicle("v1", 100.0, ta1)
+    v2 = vehicle("v2", 450.0, ta1)
+    v3 = vehicle("v3", 700.0, ta1)
+    bystander_verifiers = [
+        install_verifier(node, ta_net.public_key) for node in (v2, v3)
+    ]
+    # C2 members: v4 (honest, knows a route to v7) and v5.
+    v4 = vehicle("v4", 1150.0, ta1)
+    v5 = vehicle("v5", 1900.0, ta1)
+    # v7: the destination in C3.
+    v7 = vehicle("v7", 2650.0, ta2)
+    verifier = install_verifier(v1, ta_net.public_key)
+    sim.run(until=0.5)
+    # v4 "had already communicated with Node v7 before the RREQ was sent
+    # from Node v1": its genuine route predates the attackers' arrival.
+    primed = []
+    v4_verifier = install_verifier(v4, ta_net.public_key)
+    v4_verifier.establish_route(v7.address, primed.append)
+    sim.run(until=sim.now + 3.0)
+    assert primed[0].verified
+    # Now the cooperative pair enters C2.
+    b1, b2 = make_cooperative_pair(
+        sim, highway, primary_id="vB1", teammate_id="vB2",
+        primary_x=1300.0, teammate_x=1650.0, speed=0.0,
+        enroll=lambda name: ta1.enroll(name, now=0.0), authority=ta1,
+    )
+    for attacker in (b1, b2):
+        net.attach(attacker)
+        attacker.activate()
+    sim.run(until=sim.now + 0.5)
+    return locals()
+
+
+def test_members_are_in_the_papers_clusters(scenario):
+    rsus = scenario["rsus"]
+    for name in ("v1", "v2", "v3"):
+        assert rsus[0].membership.is_member(scenario[name].address)
+    for name in ("v4", "v5", "b1", "b2"):
+        assert rsus[1].membership.is_member(scenario[name].address)
+    assert rsus[2].membership.is_member(scenario["v7"].address)
+
+
+def test_fake_rrep_outbids_the_genuine_route(scenario):
+    """vB1's RREP carries a far higher SN than v4's genuine one (the
+    paper's 200 vs 75), so plain AODV would prefer the attacker."""
+    sim, v1, v7 = scenario["sim"], scenario["v1"], scenario["v7"]
+    b1 = scenario["b1"]
+    results = []
+    v1.aodv.discover(v7.address, results.append)
+    sim.run(until=sim.now + 5.0)
+    replies = results[0].replies
+    by_node = {}
+    for reply in replies:
+        by_node.setdefault(reply.replied_by, max(0, reply.destination_seq))
+        by_node[reply.replied_by] = max(
+            by_node[reply.replied_by], reply.destination_seq
+        )
+    assert b1.address in by_node
+    attackers = {b1.address, scenario["b2"].address}
+    fake_seq = by_node[b1.address]
+    genuine = max(
+        seq for node, seq in by_node.items() if node not in attackers
+    )
+    assert fake_seq >= genuine + 100  # "very high SN"
+    assert results[0].best_reply().replied_by in attackers
+
+
+def test_full_walkthrough_detection_and_isolation(scenario):
+    sim = scenario["sim"]
+    v1, v7 = scenario["v1"], scenario["v7"]
+    b1, b2 = scenario["b1"], scenario["b2"]
+    services = scenario["services"]
+    ta1, ta2 = scenario["ta1"], scenario["ta2"]
+
+    outcomes = []
+    scenario["verifier"].establish_route(v7.address, outcomes.append)
+    sim.run(until=sim.now + 60.0)
+    outcome = outcomes[0]
+
+    # v1 suspected the replying attacker, and C1 forwarded the d_req to
+    # C2, which examined.  (Both attackers bid the same forged SN; which
+    # one reaches v1 first is a per-seed coin toss — the walkthrough is
+    # symmetric either way, because the probe's next-hop disclosure
+    # names the partner.)
+    assert outcome.suspect in (b1.address, b2.address)
+    assert outcome.verdict == "black-hole"
+    records = [r for s in services for r in s.records]
+    assert len(records) == 1
+    record = records[0]
+    assert record.examined_by == [2]  # C2 performed the detection
+    assert record.breakdown[:2] == ["d_req", "forward"]
+    # The teammate chase convicted the partner as the cooperative attacker.
+    partner = b2.address if record.suspect == b1.address else b1.address
+    assert record.cooperative_with == [partner]
+    # Figure 5's cooperative band.
+    assert 8 <= record.packets <= 11
+
+    # Isolation: ta1 processed the revocation and "officially reports
+    # that to ta2 to pause renewing the attacker certificate".
+    for authority in (ta1, ta2):
+        assert authority.crl.is_revoked_serial(b1.certificate.serial)
+        assert authority.crl.is_revoked_serial(b2.certificate.serial)
+    assert not b1.renew_identity()
+    assert not b2.renew_identity()
+    # "Node c1 will notify its members to avoid any route through B1."
+    for member in ("v1", "v2", "v3"):
+        assert b1.address in scenario[member].blacklist
+    # And v1 can finally reach v7 over the honest fabric.
+    retry = []
+    scenario["verifier"].establish_route(v7.address, retry.append)
+    sim.run(until=sim.now + 60.0)
+    assert retry[0].verified

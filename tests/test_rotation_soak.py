@@ -1,0 +1,90 @@
+"""Pseudonym rotation under load, and a soak test of the whole stack."""
+
+import pytest
+
+from repro.vehicles import PseudonymRotation
+
+from tests.helpers_blackdp import build_world
+
+
+def test_rotation_changes_pseudonym_and_membership():
+    world = build_world(seed=61)
+    vehicle = world.add_vehicle("v", x=2300.0)
+    rotation = PseudonymRotation(vehicle, interval=10.0, jitter=0.0)
+    rotation.start()
+    world.sim.run(until=1.0)
+    first = vehicle.address
+    world.sim.run(until=25.0)
+    rotation.stop()
+    assert rotation.rotations == 2
+    assert vehicle.address != first
+    assert world.rsus[2].membership.is_member(vehicle.address)
+    assert not world.rsus[2].membership.is_member(first)
+
+
+def test_rotation_validation():
+    world = build_world(seed=61)
+    vehicle = world.add_vehicle("v", x=500.0)
+    with pytest.raises(ValueError):
+        PseudonymRotation(vehicle, interval=0.0)
+    with pytest.raises(ValueError):
+        PseudonymRotation(vehicle, jitter=1.0)
+
+
+def test_revoked_vehicle_rotation_refused():
+    world = build_world(seed=62)
+    reporter = world.add_vehicle("rep", x=2200.0)
+    attacker = world.add_attacker("bh", x=2700.0)
+    rotation = PseudonymRotation(attacker, interval=5.0, jitter=0.0)
+    rotation.start()
+    world.sim.run(until=0.5)
+    from tests.test_core_detection import report_suspect
+
+    report_suspect(world, reporter, attacker.address, 3, attacker.certificate)
+    world.sim.run(until=20.0)
+    rotation.stop()
+    assert rotation.refused >= 1  # post-conviction renewals denied
+    assert world.service_for_cluster(3).crl.is_revoked_id(
+        list(world.service_for_cluster(3).crl)[0].subject_id
+    )
+
+
+def test_soak_churn_and_detection_coexist():
+    """Two sim-minutes of rotating, moving traffic with an attack in the
+    middle: detection still lands, tables stay bounded, no honest node
+    is ever convicted."""
+    world = build_world(seed=63)
+    background = world.populate(25)
+    rotations = [
+        PseudonymRotation(vehicle, interval=20.0) for vehicle in background
+    ]
+    for rotation in rotations:
+        rotation.start()
+    source = world.add_vehicle("source", x=150.0)
+    attacker = world.add_attacker("bh", x=4300.0)
+    destination = world.add_vehicle("destination", x=8500.0)
+    world.sim.run(until=5.0)
+
+    outcomes = []
+    world.verifiers["source"].establish_route(destination.address, outcomes.append)
+    world.sim.run(until=120.0)
+    for rotation in rotations:
+        rotation.stop()
+
+    assert outcomes and outcomes[0].verdict == "black-hole"
+    total_rotations = sum(rotation.rotations for rotation in rotations)
+    assert total_rotations >= 25 * 4  # churn really happened
+    # No honest pseudonym (past or present) was convicted.
+    honest_ids = set()
+    for ta in world.tas:
+        for pseudonym, owner in ta._owner_of.items():
+            if owner != "bh":
+                honest_ids.add(pseudonym)
+    for service in world.services:
+        for entry in service.crl:
+            assert entry.subject_id not in honest_ids
+    # Housekeeping keeps per-CH state bounded.
+    for service in world.services:
+        service.prune()
+        assert len(service.rsu.membership.history) < 200
+        assert len(service.verification_table) <= 2

@@ -1,0 +1,124 @@
+"""Property-based tests of AODV invariants over random topologies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Network, Node
+from repro.routing import AodvConfig, AodvProtocol
+from repro.sim import Simulator
+
+from tests.helpers import AodvHost, run_discovery
+
+RANGE = 1000.0
+
+
+def build_topology(xs):
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    hosts = []
+    for index, x in enumerate(xs):
+        node = Node(sim, f"n{index}", position=(x, 0.0))
+        net.attach(node)
+        hosts.append(AodvHost(node, AodvProtocol(node, AodvConfig(discovery_retries=0))))
+    return sim, net, hosts
+
+
+def chain_connected(xs):
+    """Is there a radio path from the first to the last position?"""
+    order = sorted(xs)
+    return all(b - a <= RANGE for a, b in zip(order, order[1:]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    xs=st.lists(
+        st.floats(0, 6000, allow_nan=False), min_size=2, max_size=8, unique=True
+    )
+)
+def test_discovery_succeeds_iff_radio_path_exists(xs):
+    sim, net, hosts = build_topology(xs)
+    source = min(hosts, key=lambda h: h.node.position[0])
+    target = max(hosts, key=lambda h: h.node.position[0])
+    if source is target:
+        return
+    result = run_discovery(sim, source, target.address)
+    assert result.succeeded == chain_connected(xs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    xs=st.lists(
+        st.floats(0, 4000, allow_nan=False), min_size=3, max_size=8, unique=True
+    )
+)
+def test_route_hop_count_at_least_geometric_minimum(xs):
+    """A discovered route can never claim fewer hops than the geometric
+    minimum (total distance / radio range)."""
+    sim, net, hosts = build_topology(xs)
+    source = min(hosts, key=lambda h: h.node.position[0])
+    target = max(hosts, key=lambda h: h.node.position[0])
+    result = run_discovery(sim, source, target.address)
+    if not result.succeeded:
+        return
+    distance = target.node.position[0] - source.node.position[0]
+    import math
+
+    minimum_hops = max(1, math.ceil(distance / RANGE))
+    assert result.route.hop_count >= minimum_hops
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    xs=st.lists(
+        st.floats(0, 3000, allow_nan=False), min_size=3, max_size=7, unique=True
+    ),
+    data=st.data(),
+)
+def test_every_node_rebroadcasts_flood_at_most_once(xs, data):
+    sim, net, hosts = build_topology(xs)
+    source = hosts[0]
+    target = data.draw(st.sampled_from(hosts[1:]))
+    run_discovery(sim, source, target.address)
+    for host in hosts:
+        assert host.aodv.stats.rreq_rebroadcast <= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    xs=st.lists(
+        st.floats(0, 5000, allow_nan=False), min_size=2, max_size=8, unique=True
+    )
+)
+def test_discovery_callback_fires_exactly_once(xs):
+    sim, net, hosts = build_topology(xs)
+    results = []
+    hosts[0].aodv.discover(hosts[-1].address, results.append)
+    sim.run()
+    assert len(results) == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_identical_seeds_give_identical_discoveries(seed):
+    """Full determinism: same seed, same topology, same result object."""
+    def once():
+        sim = Simulator(seed=seed)
+        net = Network(sim)
+        rng = sim.rng("topo")
+        hosts = []
+        for index in range(6):
+            node = Node(sim, f"n{index}", position=(rng.uniform(0, 4000), 0.0))
+            net.attach(node)
+            hosts.append(AodvHost(node, AodvProtocol(node)))
+        results = []
+        hosts[0].aodv.discover(hosts[-1].address, results.append)
+        sim.run()
+        result = results[0]
+        return (
+            result.succeeded,
+            result.attempts,
+            [(r.replied_by, r.destination_seq, r.hop_count) for r in result.replies],
+            sim.events_executed,
+        )
+
+    assert once() == once()

@@ -1,0 +1,111 @@
+"""Tests for JSON scenario files and the `run` CLI command."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenario_file import (
+    ScenarioError,
+    load_scenario,
+    parse_scenario,
+    run_scenario,
+)
+
+
+def write_scenario(tmp_path, payload):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_minimal_scenario_defaults():
+    scenario = parse_scenario({})
+    assert scenario.attack == "single"
+    assert scenario.attacker_cluster == 5
+    assert scenario.trials == 1
+    assert scenario.policy is None  # sampled by zone at trial time
+    assert scenario.table.num_vehicles == 100
+
+
+def test_policy_preset_resolution():
+    scenario = parse_scenario({"policy": "act-legit"})
+    assert scenario.policy.respond_probability == 0.0
+
+
+def test_policy_object_resolution():
+    scenario = parse_scenario({"policy": {"flee_after_replies": 2}})
+    assert scenario.policy.flee_after_replies == 2
+
+
+def test_blackdp_overrides():
+    scenario = parse_scenario({"blackdp": {"probe_timeout": 3.0}})
+    assert scenario.blackdp.probe_timeout == 3.0
+    assert scenario.blackdp.inter_probe_delay == 0.5  # harness default kept
+
+
+def test_unknown_keys_rejected_loudly():
+    with pytest.raises(ScenarioError, match="unknown scenario keys"):
+        parse_scenario({"atack": "single"})
+    with pytest.raises(ScenarioError, match="unknown policy keys"):
+        parse_scenario({"policy": {"fake_seq_bost": 10}})
+    with pytest.raises(ScenarioError, match="unknown blackdp keys"):
+        parse_scenario({"blackdp": {"probetimeout": 1}})
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ScenarioError, match="attack must be one of"):
+        parse_scenario({"attack": "wormhole"})
+    with pytest.raises(ScenarioError, match="trials"):
+        parse_scenario({"trials": 0})
+    with pytest.raises(ScenarioError, match="unknown policy preset"):
+        parse_scenario({"policy": "berserk"})
+    with pytest.raises(ScenarioError, match="invalid policy"):
+        parse_scenario({"policy": {"respond_probability": 7.0}})
+
+
+def test_load_rejects_bad_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ScenarioError, match="not valid JSON"):
+        load_scenario(path)
+
+
+def test_run_scenario_end_to_end(tmp_path):
+    path = write_scenario(
+        tmp_path,
+        {
+            "name": "tiny",
+            "attack": "single",
+            "attacker_cluster": 4,
+            "trials": 2,
+            "seed": 10,
+            "vehicles": 15,
+            "policy": "aggressive",
+        },
+    )
+    outcome = run_scenario(load_scenario(path))
+    assert len(outcome.results) == 2
+    assert outcome.detected == 2
+    assert outcome.false_positives == 0
+    summary = outcome.summary()
+    assert "tiny (2 trials)" in summary
+    assert "false positives: 0" in summary
+
+
+def test_cli_run_command(tmp_path, capsys):
+    from repro.experiments.__main__ import main as cli_main
+
+    path = write_scenario(
+        tmp_path,
+        {"name": "cli", "trials": 1, "vehicles": 15, "policy": "aggressive",
+         "attacker_cluster": 3, "seed": 4},
+    )
+    assert cli_main(["run", "--config", str(path)]) == 0
+    assert "detection rate" in capsys.readouterr().out
+
+
+def test_cli_run_missing_file(tmp_path, capsys):
+    from repro.experiments.__main__ import main as cli_main
+
+    assert cli_main(["run", "--config", str(tmp_path / "nope.json")]) == 2
+    assert "cannot load scenario" in capsys.readouterr().err

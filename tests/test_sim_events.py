@@ -1,0 +1,81 @@
+"""Unit tests for the event queue ordering and cancellation semantics."""
+
+import pytest
+
+from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW, EventQueue
+
+
+def test_pop_returns_events_in_time_order():
+    q = EventQueue()
+    order = []
+    q.push(3.0, lambda: order.append("c"))
+    q.push(1.0, lambda: order.append("a"))
+    q.push(2.0, lambda: order.append("b"))
+    while (e := q.pop()) is not None:
+        e.action()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_insertion_order():
+    q = EventQueue()
+    order = []
+    for name in "abcde":
+        q.push(1.0, lambda n=name: order.append(n))
+    while (e := q.pop()) is not None:
+        e.action()
+    assert order == list("abcde")
+
+
+def test_priority_breaks_ties_before_sequence():
+    q = EventQueue()
+    order = []
+    q.push(1.0, lambda: order.append("normal"))
+    q.push(1.0, lambda: order.append("low"), priority=PRIORITY_LOW)
+    q.push(1.0, lambda: order.append("high"), priority=PRIORITY_HIGH)
+    while (e := q.pop()) is not None:
+        e.action()
+    assert order == ["high", "normal", "low"]
+
+
+def test_cancelled_event_is_skipped():
+    q = EventQueue()
+    keep = q.push(2.0, lambda: "keep")
+    drop = q.push(1.0, lambda: "drop")
+    drop.cancel()
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_len_tracks_live_events_through_cancel():
+    q = EventQueue()
+    a = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+    a.cancel()
+    assert len(q) == 1
+    a.cancel()  # idempotent
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    head = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    head.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(-0.1, lambda: None)
+
+
+def test_clear_empties_queue():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.pop() is None
+    assert not q

@@ -1,0 +1,105 @@
+"""Unit tests for the simulator loop, clock and safety rails."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.schedule(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5, 4.0]
+    assert sim.now == 4.0
+
+
+def test_run_until_stops_before_later_events_and_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append("early"))
+    sim.schedule(10.0, lambda: seen.append("late"))
+    sim.run(until=5.0)
+    assert seen == ["early"]
+    assert sim.now == 5.0  # clock parked exactly at the horizon
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth):
+        seen.append(sim.now)
+        if depth:
+            sim.schedule(1.0, lambda: chain(depth - 1))
+
+    sim.schedule(1.0, lambda: chain(3))
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_schedule_into_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_stop_halts_run_mid_queue():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: (seen.append("a"), sim.stop()))
+    sim.schedule(2.0, lambda: seen.append("b"))
+    sim.run()
+    assert seen == ["a"]
+    sim.run()
+    assert seen == ["a", "b"]
+
+
+def test_max_events_guard_raises():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever, label="forever")
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_step_executes_exactly_one_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append("a"))
+    sim.schedule(2.0, lambda: seen.append("b"))
+    assert sim.step()
+    assert seen == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_rng_streams_are_deterministic_per_seed():
+    a = Simulator(seed=7).rng("mobility").random()
+    b = Simulator(seed=7).rng("mobility").random()
+    c = Simulator(seed=8).rng("mobility").random()
+    assert a == b
+    assert a != c
+
+
+def test_rng_streams_are_independent_by_name():
+    sim = Simulator(seed=7)
+    assert sim.rng("mobility").random() != sim.rng("attacker").random()

@@ -1,0 +1,106 @@
+"""Unit tests for one-shot and periodic timers."""
+
+import pytest
+
+from repro.sim import PeriodicTimer, Simulator, Timer
+
+
+def test_timer_fires_once_after_delay():
+    sim = Simulator()
+    hits = []
+    t = Timer(sim, 3.0, lambda: hits.append(sim.now))
+    t.start()
+    sim.run()
+    assert hits == [3.0]
+    assert t.fired == 1
+    assert not t.running
+
+
+def test_timer_cancel_prevents_fire():
+    sim = Simulator()
+    hits = []
+    t = Timer(sim, 3.0, lambda: hits.append(sim.now))
+    t.start()
+    t.cancel()
+    sim.run()
+    assert hits == []
+
+
+def test_timer_restart_resets_deadline():
+    sim = Simulator()
+    hits = []
+    t = Timer(sim, 3.0, lambda: hits.append(sim.now))
+    t.start()
+    sim.run(until=2.0)
+    t.start()  # restart at t=2 -> fires at t=5
+    sim.run()
+    assert hits == [5.0]
+
+
+def test_timer_start_with_override_delay():
+    sim = Simulator()
+    hits = []
+    t = Timer(sim, 3.0, lambda: hits.append(sim.now))
+    t.start(delay=1.0)
+    sim.run()
+    assert hits == [1.0]
+
+
+def test_timer_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Timer(sim, -1.0, lambda: None)
+
+
+def test_periodic_timer_fires_on_interval():
+    sim = Simulator()
+    hits = []
+    p = PeriodicTimer(sim, 2.0, lambda: hits.append(sim.now))
+    p.start()
+    sim.run(until=7.0)
+    p.cancel()
+    assert hits == [2.0, 4.0, 6.0]
+
+
+def test_periodic_timer_first_delay_offsets_phase():
+    sim = Simulator()
+    hits = []
+    p = PeriodicTimer(sim, 2.0, lambda: hits.append(sim.now), first_delay=0.5)
+    p.start()
+    sim.run(until=5.0)
+    p.cancel()
+    assert hits == [0.5, 2.5, 4.5]
+
+
+def test_periodic_timer_cancel_stops_firings():
+    sim = Simulator()
+    hits = []
+    p = PeriodicTimer(sim, 1.0, lambda: hits.append(sim.now))
+    p.start()
+    sim.run(until=2.5)
+    p.cancel()
+    sim.run(until=10.0)
+    assert hits == [1.0, 2.0]
+
+
+def test_periodic_timer_rejects_non_positive_interval():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda: None)
+
+
+def test_logger_records_with_sim_time():
+    sim = Simulator(log_level=10)
+    sim.schedule(4.2, lambda: sim.logger.info("test", "hello"))
+    sim.run()
+    record = sim.logger.records[-1]
+    assert record.time == 4.2
+    assert record.message == "hello"
+    assert "4.2" in record.format()
+
+
+def test_logger_threshold_filters():
+    sim = Simulator(log_level=30)
+    sim.logger.debug("x", "dropped")
+    sim.logger.warning("x", "kept")
+    assert sim.logger.messages(source="x") == ["kept"]

@@ -1,0 +1,88 @@
+"""Tests for SND-gated protocol participation (defence in depth)."""
+
+import random
+
+from repro.crypto import TrustedAuthorityNetwork
+from repro.net import Network, Node
+from repro.net.discovery import SecureNeighborDiscovery
+from repro.net.network import BROADCAST
+from repro.routing import AodvProtocol, RouteRequest
+from repro.sim import Simulator
+
+
+def build():
+    sim = Simulator(seed=2)
+    net = Network(sim)
+    ta_net = TrustedAuthorityNetwork(random.Random(2))
+    ta = ta_net.add_authority("ta1")
+    return sim, net, ta_net, ta
+
+
+def enrolled_node(sim, net, ta_net, ta, name, x, *, gated=False):
+    node = Node(sim, name, position=(x, 0.0))
+    net.attach(node)
+    enrolment = ta.enroll(name, now=sim.now)
+    node.set_address(enrolment.certificate.subject_id)
+    aodv = AodvProtocol(node)
+    snd = SecureNeighborDiscovery(
+        node, ta_net.public_key,
+        identity=lambda: (enrolment.certificate, enrolment.keypair.private),
+    )
+    snd.start()
+    if gated:
+        snd.install_gate()
+    return node, aodv, snd
+
+
+def test_unauthenticated_sender_cannot_inject_rreqs():
+    sim, net, ta_net, ta = build()
+    victim, victim_aodv, victim_snd = enrolled_node(
+        sim, net, ta_net, ta, "victim", 0.0, gated=True
+    )
+    rogue = Node(sim, "rogue", position=(400.0, 0.0))
+    net.attach(rogue)
+    sim.run(until=1.0)
+    rogue.send(
+        RouteRequest(
+            src="rogue", dst=BROADCAST, originator="rogue",
+            originator_seq=1, destination="anything", destination_seq=0,
+            rreq_id=1,
+        )
+    )
+    sim.run(until=2.0)
+    # The victim dropped the flood at the gate: no reverse route learned.
+    assert victim.packets_gated >= 1
+    assert victim_aodv.table.lookup("rogue", sim.now) is None
+    victim_snd.stop()
+
+
+def test_authenticated_peers_interoperate_through_gate():
+    sim, net, ta_net, ta = build()
+    a, a_aodv, a_snd = enrolled_node(sim, net, ta_net, ta, "a", 0.0, gated=True)
+    b, b_aodv, b_snd = enrolled_node(sim, net, ta_net, ta, "b", 600.0, gated=True)
+    sim.run(until=2.5)  # beacons exchanged, mutual authentication done
+    results = []
+    a_aodv.discover(b.address, results.append)
+    sim.run(until=5.0)
+    assert results and results[0].succeeded
+    a_snd.stop(), b_snd.stop()
+
+
+def test_gate_removal_restores_promiscuity():
+    sim, net, ta_net, ta = build()
+    victim, victim_aodv, victim_snd = enrolled_node(
+        sim, net, ta_net, ta, "victim", 0.0, gated=True
+    )
+    victim_snd.remove_gate()
+    rogue = Node(sim, "rogue", position=(400.0, 0.0))
+    net.attach(rogue)
+    rogue.send(
+        RouteRequest(
+            src="rogue", dst=BROADCAST, originator="rogue",
+            originator_seq=1, destination="x", destination_seq=0, rreq_id=1,
+        )
+    )
+    sim.run(until=1.0)
+    assert victim.packets_gated == 0
+    assert victim_aodv.table.lookup("rogue", sim.now) is not None
+    victim_snd.stop()

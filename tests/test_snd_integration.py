@@ -1,0 +1,92 @@
+"""Integration: the full BlackDP pipeline with secure neighbour
+discovery beaconing and admission gating turned on."""
+
+from repro.net.discovery import SecureNeighborDiscovery
+
+
+from tests.helpers_blackdp import build_world
+
+
+def install_snd(world, node, *, gate: bool):
+    snd = SecureNeighborDiscovery(
+        node,
+        world.ta_net.public_key,
+        identity=node.aodv.identity if hasattr(node, "aodv") else None,
+        interval=0.5,
+    )
+    snd.start()
+    if gate:
+        snd.install_gate()
+    return snd
+
+
+def test_detection_pipeline_with_snd_gating():
+    world = build_world(seed=41)
+    snds = []
+    # RSUs beacon under their infrastructure certificates (no gate: the
+    # trusted node serves everyone).
+    for rsu in world.rsus:
+        snd = SecureNeighborDiscovery(
+            rsu, world.ta_net.public_key, identity=rsu.aodv.identity,
+            interval=0.5,
+        )
+        snd.start()
+        snds.append(snd)
+    source = world.add_vehicle("src", x=100.0)
+    relay = world.add_vehicle("relay", x=900.0)
+    attacker = world.add_attacker("bh", x=1000.0)
+    destination = world.add_vehicle("dst", x=2500.0)
+    for vehicle in (source, relay, destination):
+        snds.append(install_snd(world, vehicle, gate=True))
+    # The attacker beacons (it wants to participate) but does not gate
+    # (it wants every packet it can get).
+    snds.append(install_snd(world, attacker, gate=False))
+    world.sim.run(until=2.0)  # beacons exchanged, everyone authenticated
+
+    outcomes = []
+    world.verifiers["src"].establish_route(destination.address, outcomes.append)
+    world.sim.run(until=world.sim.now + 60.0)
+    outcome = outcomes[0]
+    assert outcome.suspect == attacker.address
+    assert outcome.verdict == "black-hole"
+    assert attacker.address in source.blacklist
+    for snd in snds:
+        snd.stop()
+
+
+def test_unauthenticated_outsider_excluded_while_protocol_runs():
+    from repro.net import Node
+    from repro.routing import AodvProtocol, RouteRequest
+    from repro.net.network import BROADCAST
+
+    world = build_world(seed=42)
+    vehicle = world.add_vehicle("v", x=500.0)
+    snd = install_snd(world, vehicle, gate=True)
+    rsu_snd = SecureNeighborDiscovery(
+        world.rsus[0], world.ta_net.public_key,
+        identity=world.rsus[0].aodv.identity, interval=0.5,
+    )
+    rsu_snd.start()
+    outsider = Node(world.sim, "outsider", position=(600.0, 0.0))
+    world.net.attach(outsider)
+    outsider_aodv = AodvProtocol(outsider)
+    world.sim.run(until=2.0)
+    outsider.send(
+        RouteRequest(
+            src="outsider", dst=BROADCAST, originator="outsider",
+            originator_seq=1, destination="anywhere", destination_seq=0,
+            rreq_id=1,
+        )
+    )
+    world.sim.run(until=world.sim.now + 2.0)
+    # The outsider's own transmission was dropped at the gate; per-hop
+    # admission authenticates transmitters, so the only way its flood
+    # reached the vehicle was relayed by the authenticated (ungated) RSU.
+    assert vehicle.packets_gated >= 1
+    entry = vehicle.aodv.table.lookup("outsider", world.sim.now)
+    if entry is not None:
+        assert entry.next_hop == world.rsus[0].address
+        assert entry.next_hop != "outsider"
+    # And the vehicle still talks to the authenticated RSU.
+    assert snd.is_authenticated(world.rsus[0].address)
+    snd.stop(), rsu_snd.stop()

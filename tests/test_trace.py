@@ -1,0 +1,178 @@
+"""Tests for FCD trace recording, (de)serialisation and replay."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.trace import (
+    ReplayMotion,
+    Trace,
+    TraceRecorder,
+    TraceSample,
+    read_csv,
+    read_fcd_xml,
+    write_csv,
+    write_fcd_xml,
+)
+from repro.trace.fcd import merge
+
+
+def small_trace():
+    t = Trace()
+    t.add(TraceSample(0.0, "v1", 0.0, 25.0, 20.0))
+    t.add(TraceSample(0.0, "v2", 500.0, 75.0, 15.0))
+    t.add(TraceSample(1.0, "v1", 20.0, 25.0, 20.0))
+    t.add(TraceSample(1.0, "v2", 515.0, 75.0, 15.0))
+    return t
+
+
+def test_vehicles_and_per_vehicle_views():
+    t = small_trace()
+    assert t.vehicles() == ["v1", "v2"]
+    v1 = t.for_vehicle("v1")
+    assert [s.time for s in v1] == [0.0, 1.0]
+    assert t.time_span() == (0.0, 1.0)
+
+
+def test_time_span_empty_raises():
+    with pytest.raises(ValueError):
+        Trace().time_span()
+
+
+def test_by_timestep_groups_sorted():
+    t = small_trace()
+    grouped = t.by_timestep()
+    assert list(grouped) == [0.0, 1.0]
+    assert len(grouped[0.0]) == 2
+
+
+def test_csv_roundtrip(tmp_path):
+    t = small_trace()
+    path = tmp_path / "trace.csv"
+    write_csv(t, path)
+    back = read_csv(path)
+    assert back.samples == t.samples
+
+
+def test_csv_rejects_bad_header(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("nope\n1,v,0,0,0\n")
+    with pytest.raises(ValueError):
+        read_csv(path)
+
+
+def test_csv_rejects_malformed_line(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("time,vehicle,x,y,speed\n1,v,0\n")
+    with pytest.raises(ValueError):
+        read_csv(path)
+
+
+def test_fcd_xml_roundtrip(tmp_path):
+    t = small_trace()
+    path = tmp_path / "trace.xml"
+    write_fcd_xml(t, path)
+    back = read_fcd_xml(path)
+    assert sorted(back.samples, key=lambda s: (s.time, s.vehicle_id)) == sorted(
+        t.samples, key=lambda s: (s.time, s.vehicle_id)
+    )
+    assert "<fcd-export>" in path.read_text()
+
+
+def test_fcd_xml_rejects_foreign_root(tmp_path):
+    path = tmp_path / "bad.xml"
+    path.write_text("<routes/>")
+    with pytest.raises(ValueError):
+        read_fcd_xml(path)
+
+
+def test_merge_sorts_by_time():
+    a = Trace()
+    a.add(TraceSample(2.0, "v1", 1.0, 0.0, 0.0))
+    b = Trace()
+    b.add(TraceSample(1.0, "v2", 2.0, 0.0, 0.0))
+    merged = merge([a, b])
+    assert [s.time for s in merged.samples] == [1.0, 2.0]
+
+
+def test_recorder_samples_on_interval():
+    sim = Simulator()
+    state = {"x": 0.0}
+
+    def source():
+        return [("v1", state["x"], 25.0, 10.0)]
+
+    recorder = TraceRecorder(sim, source, interval=1.0)
+    recorder.start()
+
+    def advance():
+        state["x"] += 10.0
+
+    for i in range(5):
+        sim.schedule(i + 0.5, advance)
+    sim.run(until=3.0)
+    recorder.stop()
+    sim.run(until=10.0)
+    xs = [s.x for s in recorder.trace.for_vehicle("v1")]
+    assert xs == [0.0, 10.0, 20.0, 30.0]  # samples at t=0,1,2,3 then stopped
+
+
+def test_replay_interpolates_linearly():
+    t = Trace()
+    t.add(TraceSample(0.0, "v", 0.0, 5.0, 10.0))
+    t.add(TraceSample(10.0, "v", 100.0, 5.0, 10.0))
+    t.add(TraceSample(20.0, "v", 100.0, 5.0, 0.0))
+    motion = ReplayMotion(t, "v")
+    assert motion.position(5.0) == (50.0, 5.0)
+    assert motion.position(15.0) == (100.0, 5.0)
+    assert motion.speed_at(5.0) == 10.0
+    assert motion.speed_at(15.0) == 10.0
+    assert motion.speed_at(20.0) == 0.0
+
+
+def test_replay_clamps_outside_span():
+    t = Trace()
+    t.add(TraceSample(5.0, "v", 50.0, 5.0, 10.0))
+    t.add(TraceSample(10.0, "v", 100.0, 5.0, 10.0))
+    motion = ReplayMotion(t, "v")
+    assert motion.position(0.0) == (50.0, 5.0)
+    assert motion.position(99.0) == (100.0, 5.0)
+    assert motion.entry_time == 5.0
+    assert motion.exit_time == 10.0
+
+
+def test_replay_unknown_vehicle_raises():
+    with pytest.raises(ValueError):
+        ReplayMotion(small_trace(), "ghost")
+
+
+@given(
+    times=st.lists(
+        st.floats(0, 100, allow_nan=False), min_size=2, max_size=10, unique=True
+    ),
+    query=st.floats(0, 100, allow_nan=False),
+)
+def test_replay_position_bounded_by_sample_extremes(times, query):
+    times = sorted(times)
+    t = Trace()
+    for i, time in enumerate(times):
+        t.add(TraceSample(time, "v", float(i * 10), 0.0, 1.0))
+    motion = ReplayMotion(t, "v")
+    x, _y = motion.position(query)
+    assert 0.0 <= x <= (len(times) - 1) * 10
+
+
+def test_recorder_then_replay_end_to_end(tmp_path):
+    """Record a moving vehicle, write FCD XML, read back and replay."""
+    sim = Simulator()
+    recorder = TraceRecorder(
+        sim, lambda: [("car", sim.now * 20.0, 25.0, 20.0)], interval=1.0
+    )
+    recorder.start()
+    sim.run(until=5.0)
+    recorder.stop()
+    path = tmp_path / "run.xml"
+    write_fcd_xml(recorder.trace, path)
+    motion = ReplayMotion(read_fcd_xml(path), "car")
+    assert motion.position(2.5)[0] == pytest.approx(50.0)

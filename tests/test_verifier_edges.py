@@ -1,0 +1,69 @@
+"""Edge-path tests for the vehicle-side verifier."""
+
+from repro.core import BlackDpConfig
+
+from tests.helpers_blackdp import build_world
+
+
+def test_silent_cluster_head_fails_closed():
+    """If the CH never answers the d_req (here: it vanished after the
+    vehicle joined), verification times out as *prevented* — the source
+    never uses the suspicious route."""
+    config = BlackDpConfig(result_timeout=5.0)
+    world = build_world(config=config)
+    source = world.add_vehicle("src", x=100.0, config=config)
+    attacker = world.add_attacker("bh", x=900.0)
+    world.add_vehicle("dst", x=2500.0)
+    destination = world.vehicles[-1]
+    world.sim.run(until=0.5)
+    world.net.detach(world.rsus[0])  # the reporter's CH goes dark
+    outcomes = []
+    world.verifiers["src"].establish_route(destination.address, outcomes.append)
+    world.sim.run(until=world.sim.now + 30.0)
+    outcome = outcomes[0]
+    assert not outcome.verified
+    assert outcome.reason == "detection-result-timeout"
+    assert outcome.prevented
+    assert outcome.suspect == attacker.address
+
+
+def test_suspect_going_quiet_in_round_two_is_prevention():
+    """An attacker that answers the first discovery but not the
+    confirmation round escapes detection ('avoids being trapped') yet
+    gains nothing: the source verifies the genuine route instead."""
+    from repro.attacks import AttackerPolicy
+
+    world = build_world()
+    source = world.add_vehicle("src", x=100.0)
+    world.add_vehicle("relay-a", x=900.0)
+    world.add_vehicle("relay-b", x=1700.0)
+    attacker = world.add_attacker(
+        "bh", x=1000.0, policy=AttackerPolicy(max_replies=1)
+    )
+    destination = world.add_vehicle("dst", x=2500.0)
+    world.sim.run(until=0.5)
+    outcomes = []
+    world.verifiers["src"].establish_route(destination.address, outcomes.append)
+    world.sim.run(until=world.sim.now + 60.0)
+    outcome = outcomes[0]
+    assert attacker.aodv.fake_replies_sent == 1
+    assert outcome.discoveries == 2
+    # Round two: the quiet suspect is sidestepped, the genuine
+    # destination reply verifies, and nothing was reported.
+    assert outcome.verified
+    assert outcome.reason == "destination-reply"
+    assert world.all_records() == []
+
+
+def test_outcomes_list_preserves_history():
+    world = build_world()
+    source = world.add_vehicle("src", x=100.0)
+    destination = world.add_vehicle("dst", x=800.0)
+    world.sim.run(until=0.5)
+    verifier = world.verifiers["src"]
+    for _ in range(3):
+        done = []
+        verifier.establish_route(destination.address, done.append)
+        world.sim.run(until=world.sim.now + 5.0)
+        assert done and done[0].verified
+    assert len(verifier.outcomes) == 3

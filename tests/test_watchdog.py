@@ -1,0 +1,145 @@
+"""Tests for the infrastructure watchdog (stealth-gray-hole extension)."""
+
+import pytest
+
+from repro.attacks import AttackerPolicy
+from repro.core.watchdog import (
+    VERDICT_GRAY_HOLE,
+    InfrastructureWatchdog,
+    WatchdogConfig,
+)
+
+from tests.helpers_blackdp import build_world
+from tests.test_extensions import make_grayhole
+
+
+def build_watched_world(seed=3):
+    world = build_world(seed=seed)
+    watchdogs = [
+        InfrastructureWatchdog(service) for service in world.services
+    ]
+    return world, watchdogs
+
+
+def stream(world, source, destination, count):
+    results = []
+    source.aodv.discover(destination.address, results.append)
+    world.sim.run(until=world.sim.now + 5.0)
+    delivered = []
+    destination.aodv.add_data_sink(lambda p: delivered.append(p.payload))
+    for i in range(count):
+        source.aodv.send_data(destination.address, payload=i)
+        world.sim.run(until=world.sim.now + 0.1)
+    world.sim.run(until=world.sim.now + 3.0)
+    return delivered
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        WatchdogConfig(grace=0.0)
+    with pytest.raises(ValueError):
+        WatchdogConfig(min_samples=0)
+    with pytest.raises(ValueError):
+        WatchdogConfig(ratio_threshold=0.0)
+
+
+def test_honest_relay_never_convicted():
+    world, watchdogs = build_watched_world()
+    source = world.add_vehicle("src", x=2100.0)
+    relay = world.add_vehicle("relay", x=2800.0)
+    destination = world.add_vehicle("dst", x=3500.0)
+    world.sim.run(until=0.5)
+    delivered = stream(world, source, destination, 20)
+    assert len(delivered) == 20
+    assert all(not w.convicted for w in watchdogs)
+    # The relay's ledger shows clean forwarding.
+    ledger = watchdogs[2].ledgers.get(relay.address)
+    assert ledger is not None
+    assert ledger.dropped == 0
+    assert ledger.forwarded >= 15
+
+
+def test_stealth_grayhole_convicted_by_watchdog():
+    world, watchdogs = build_watched_world()
+    source = world.add_vehicle("src", x=2100.0)
+    grayhole = make_grayhole(
+        world, "gh", 2800.0, policy=AttackerPolicy.act_legitimately()
+    )
+    destination = world.add_vehicle("dst", x=3500.0)
+    world.sim.run(until=0.5)
+    delivered = stream(world, source, destination, 30)
+    assert len(delivered) < 30  # it was dropping
+    convicted = {address for w in watchdogs for address in w.convicted}
+    assert grayhole.address in convicted
+    records = [
+        r for r in world.all_records() if r.verdict == VERDICT_GRAY_HOLE
+    ]
+    assert len(records) == 1
+    assert records[0].suspect == grayhole.address
+    assert "watchdog-evidence" in records[0].breakdown[0]
+    # Full isolation ran: TA renewals paused, members warned.
+    assert not grayhole.renew_identity()
+    assert grayhole.address in source.blacklist
+
+
+def test_watchdog_conviction_blocks_future_relaying():
+    """After conviction, honest nodes gate the gray hole out entirely, so
+    rediscovery routes around it when an alternative exists."""
+    world, watchdogs = build_watched_world()
+    source = world.add_vehicle("src", x=2100.0)
+    grayhole = make_grayhole(
+        world, "gh", 2800.0, policy=AttackerPolicy.act_legitimately()
+    )
+    destination = world.add_vehicle("dst", x=3500.0)
+    world.sim.run(until=0.5)
+    stream(world, source, destination, 30)  # triggers the conviction
+    assert grayhole.address in source.blacklist
+    # An alternative relay appears; the fresh stream routes around the
+    # gated-out gray hole and everything arrives.
+    alternative = world.add_vehicle("alt-relay", x=2850.0)
+    world.sim.run(until=world.sim.now + 0.5)
+    delivered = stream(world, source, destination, 10)
+    assert len(delivered) == 10
+    assert alternative.aodv.stats.data_forwarded >= 10
+
+
+def test_blackhole_also_caught_by_watchdog_when_unreported():
+    """Even if no vehicle files a d_req, a data-dropping member is caught
+    by observation alone."""
+    world, watchdogs = build_watched_world()
+    source = world.add_vehicle("src", x=2100.0)
+    attacker = world.add_attacker("bh", x=2800.0)
+    world.add_vehicle("dst", x=3500.0)
+    destination = world.vehicles[-1]
+    world.sim.run(until=0.5)
+    stream(world, source, destination, 30)
+    convicted = {address for w in watchdogs for address in w.convicted}
+    assert attacker.address in convicted
+
+
+def test_min_samples_prevents_snap_judgement():
+    world, watchdogs = build_watched_world()
+    config = WatchdogConfig(min_samples=50)
+    for watchdog in watchdogs:
+        watchdog.config = config
+    source = world.add_vehicle("src", x=2100.0)
+    grayhole = make_grayhole(
+        world, "gh", 2800.0, policy=AttackerPolicy.act_legitimately()
+    )
+    destination = world.add_vehicle("dst", x=3500.0)
+    world.sim.run(until=0.5)
+    stream(world, source, destination, 10)  # too few settled samples
+    assert all(not w.convicted for w in watchdogs)
+
+
+def test_watchdog_stop_detaches_monitor():
+    world, watchdogs = build_watched_world()
+    for watchdog in watchdogs:
+        watchdog.stop()
+    source = world.add_vehicle("src", x=2100.0)
+    make_grayhole(world, "gh", 2800.0, policy=AttackerPolicy.act_legitimately())
+    destination = world.add_vehicle("dst", x=3500.0)
+    world.sim.run(until=0.5)
+    stream(world, source, destination, 30)
+    assert all(not w.convicted for w in watchdogs)
+    assert all(not w.ledgers for w in watchdogs)
