@@ -73,6 +73,7 @@ class BlackHoleAodv(AodvProtocol):
             destination_seq=fake_seq,
             hop_count=self.policy.fake_hop_count,
             next_hop_claim=claim,
+            in_reply_to=packet,
         )
         self.fake_replies_sent += 1
         self._after_fake_reply()

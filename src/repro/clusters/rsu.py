@@ -114,12 +114,30 @@ class RsuNode(Node):
                 cluster_index=self.cluster_index,
             )
         )
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("clusters.joins", cluster=self.cluster_index).inc()
+            obs.metrics.gauge("clusters.members", cluster=self.cluster_index).set(
+                len(self.membership)
+            )
+        if obs.trace is not None:
+            obs.trace.emit(self.node_id, "cluster.join", detail=sender)
         for observer in self.on_member_join:
             observer(sender)
 
     def _on_leave_notice(self, packet: LeaveNotice, sender: str) -> None:
         record = self.membership.leave(sender, self.sim.now)
         if record is not None:
+            obs = self.sim.obs
+            if obs.metrics is not None:
+                obs.metrics.counter(
+                    "clusters.leaves", cluster=self.cluster_index
+                ).inc()
+                obs.metrics.gauge(
+                    "clusters.members", cluster=self.cluster_index
+                ).set(len(self.membership))
+            if obs.trace is not None:
+                obs.trace.emit(self.node_id, "cluster.leave", detail=sender)
             for observer in self.on_member_leave:
                 observer(sender)
 

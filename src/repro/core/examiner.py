@@ -170,6 +170,16 @@ class DetectionService:
             examined_by=[self.rsu.cluster_index],
         )
         self.verification_table[case.suspect] = case
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter(
+                "blackdp.exams_started", cluster=self.rsu.cluster_index
+            ).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.rsu.node_id, "exam.start", packet,
+                cause=f"suspect:{packet.suspect}",
+            )
         self._route_case(case)
 
     def _route_case(self, case: _ExamCase) -> None:
@@ -285,35 +295,51 @@ class DetectionService:
         defaults.update(overrides)
         return RouteRequest(**defaults)
 
+    def _observe_probe(self, case: _ExamCase, probe: RouteRequest) -> None:
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter(
+                "blackdp.probes_sent",
+                cluster=self.rsu.cluster_index,
+                phase=case.phase,
+            ).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.rsu.node_id, "exam.probe_tx", probe,
+                cause=f"suspect:{case.suspect}", detail=case.phase,
+            )
+
     def _send_probe1(self, case: _ExamCase) -> None:
         case.ledger.count("RREQ_1")
-        self.rsu.send(self._probe_rreq(case))
+        probe = self._probe_rreq(case)
+        self._observe_probe(case, probe)
+        self.rsu.send(probe)
         self._arm_timer(case, self._probe1_timeout)
 
     def _send_probe2(self, case: _ExamCase) -> None:
         case.phase = "probe2"
         case.rreq2_seq = (case.rrep1_seq or 0) + 1
         case.ledger.count("RREQ_2")
-        self.rsu.send(
-            self._probe_rreq(
-                case, destination_seq=case.rreq2_seq, request_next_hop=True
-            )
+        probe = self._probe_rreq(
+            case, destination_seq=case.rreq2_seq, request_next_hop=True
         )
+        self._observe_probe(case, probe)
+        self.rsu.send(probe)
         self._arm_timer(case, self._probe2_timeout)
 
     def _send_teammate_probe(self, case: _ExamCase) -> None:
         case.phase = "teammate"
         case.ledger.count("RREQ_teammate")
         fake2 = f"pid-fake-{self._rng.getrandbits(40):010x}"
-        self.rsu.send(
-            self._probe_rreq(
-                case,
-                dst=case.teammate_claim,
-                destination=fake2,
-                destination_seq=0,
-                claim_check=case.suspect,
-            )
+        probe = self._probe_rreq(
+            case,
+            dst=case.teammate_claim,
+            destination=fake2,
+            destination_seq=0,
+            claim_check=case.suspect,
         )
+        self._observe_probe(case, probe)
+        self.rsu.send(probe)
         self._arm_timer(case, self._teammate_timeout)
 
     def _arm_timer(self, case: _ExamCase, handler) -> None:
@@ -349,6 +375,12 @@ class DetectionService:
         return None
 
     def _on_probe_reply(self, case: _ExamCase, packet: RouteReply) -> None:
+        trace = self.sim.obs.trace
+        if trace is not None:
+            trace.emit(
+                self.rsu.node_id, "exam.probe_reply", packet,
+                cause=f"suspect:{case.suspect}", detail=case.phase,
+            )
         if case.phase == "probe1" and packet.replied_by == case.suspect:
             self._cancel_timer(case)
             case.ledger.count("RREP_1")
@@ -437,6 +469,18 @@ class DetectionService:
         self._cancel_timer(case)
         self._release_alias(case)
         case.ledger.count("result")
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter(
+                "blackdp.verdicts",
+                cluster=self.rsu.cluster_index,
+                verdict=verdict,
+            ).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.rsu.node_id, "exam.verdict",
+                cause=f"suspect:{case.suspect}", detail=verdict,
+            )
         reporter, reporter_cluster = case.reporters[0]
         self._send_result_to(
             reporter, reporter_cluster, case.suspect, verdict, case.cooperative_with
@@ -570,6 +614,15 @@ class DetectionService:
         return None
 
     def _revoke(self, suspect: str, certificate) -> RevocationEntry:
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter(
+                "blackdp.revocations", cluster=self.rsu.cluster_index
+            ).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.rsu.node_id, "exam.revoke", cause=f"suspect:{suspect}"
+            )
         authority = self.ta_network.authority_for_cluster(self.rsu.node_id)
         if certificate is None:
             # The probe replies were unsigned; ask the TA hierarchy for

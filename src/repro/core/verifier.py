@@ -137,6 +137,15 @@ class RouteVerifier:
             raise RuntimeError(f"verification to {destination!r} already running")
         case = _Case(destination, callback)
         self._cases[destination] = case
+        obs = self.vehicle.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter(
+                "blackdp.verifications_started", node=self.vehicle.node_id
+            ).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.vehicle.node_id, "verify.start", detail=destination
+            )
         self._discover(case)
 
     # ------------------------------------------------------------------
@@ -252,6 +261,17 @@ class RouteVerifier:
             nonce=case.nonce,
         )
         self._sign_hello(hello)
+        obs = self.vehicle.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter(
+                "blackdp.hello_probes", node=self.vehicle.node_id
+            ).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.vehicle.node_id, "verify.hello_tx", hello,
+                cause=f"suspect:{case.suspect}" if case.suspect else "",
+                detail=f"target={case.destination}",
+            )
         self.vehicle.send(hello)
         case.hello_timer = self.vehicle.sim.schedule(
             self.config.hello_timeout,
@@ -360,6 +380,16 @@ class RouteVerifier:
             suspect_cluster=case.suspect_cluster,
             suspect_certificate=case.suspect_certificate,
         )
+        obs = self.vehicle.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter(
+                "blackdp.reports_sent", node=self.vehicle.node_id
+            ).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.vehicle.node_id, "verify.report", request,
+                cause=f"suspect:{case.suspect}", detail=reason,
+            )
         self.vehicle.send(request)
         self._by_suspect[case.suspect] = case
         case.result_timer = self.vehicle.sim.schedule(
@@ -486,6 +516,19 @@ class RouteVerifier:
             prevented=prevented,
             discoveries=case.discoveries,
         )
+        obs = self.vehicle.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter(
+                "blackdp.verifications",
+                node=self.vehicle.node_id,
+                result="verified" if verified else "refused",
+            ).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.vehicle.node_id, "verify.outcome",
+                cause=f"suspect:{case.suspect}" if case.suspect else "",
+                detail=reason,
+            )
         self.outcomes.append(outcome)
         case.callback(outcome)
 

@@ -82,10 +82,15 @@ class TrustedAuthority:
         vehicle; the TA remembers the pseudonym mapping so it can pause
         renewals after a revocation.
         """
+        obs = self.network.obs
         if long_term_id in self.paused:
+            if obs is not None and obs.metrics is not None:
+                obs.metrics.counter("ta.enrolments_refused", ta=self.ta_id).inc()
             raise PermissionError(
                 f"renewals for {long_term_id!r} are paused (revoked attacker)"
             )
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.counter("ta.enrolments", ta=self.ta_id).inc()
         keypair = generate_keypair(self._rng)
         pseudonym = self._pseudonyms.issue()
         life = DEFAULT_CERT_LIFETIME if lifetime is None else lifetime
@@ -211,6 +216,10 @@ class TrustedAuthorityNetwork:
         self._serials = itertools.count(1)
         #: cluster id -> TA id responsible for it
         self._region_of: dict[str, str] = {}
+        #: optional observability hub (a :class:`repro.obs.Observability`);
+        #: the TA network has no simulator reference, so the scenario
+        #: builder attaches the hub explicitly when it wants TA metrics
+        self.obs = None
 
     @property
     def public_key(self) -> PublicKey:
@@ -249,5 +258,7 @@ class TrustedAuthorityNetwork:
         """Deliver a revocation entry to every TA node (paper: the TA
         "informs other trusted authority nodes to pause attacker renewal
         certificates")."""
+        if self.obs is not None and self.obs.metrics is not None:
+            self.obs.metrics.counter("ta.revocations_propagated").inc()
         for authority in self.authorities.values():
             authority.receive_revocation(entry)

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments figure4 [--trials N] [--attacks single,cooperative]
     python -m repro.experiments figure5
     python -m repro.experiments ablations
+    python -m repro.experiments trial [--metrics] [--trace PATH] [--profile]
 """
 
 from __future__ import annotations
@@ -109,6 +110,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_trial(args: argparse.Namespace) -> int:
+    from repro.experiments.config import TrialConfig
+    from repro.experiments.trial import run_trial
+
+    try:
+        config = TrialConfig(
+            seed=args.seed,
+            attack=args.attack,
+            attacker_cluster=args.cluster,
+            metrics=args.metrics,
+            trace=args.trace is not None,
+            profile=args.profile,
+        )
+    except ValueError as error:
+        print(f"invalid trial configuration: {error}", file=sys.stderr)
+        return 2
+    result = run_trial(config)
+    print(f"attack={result.attack} policy={result.policy_name} "
+          f"detected={result.detected} fp={result.false_positive}")
+    if result.metrics is not None:
+        print("\ncounters:")
+        for key, value in sorted(result.metrics.items()):
+            if isinstance(value, int) and value:
+                print(f"  {key:<48} {value}")
+    if result.trace_events is not None and args.trace is not None:
+        try:
+            with open(args.trace, "w") as sink:
+                for event in result.trace_events:
+                    sink.write(event.to_json() + "\n")
+        except OSError as error:
+            print(f"cannot write trace: {error}", file=sys.stderr)
+            return 2
+        print(f"\ntrace: {len(result.trace_events)} events -> {args.trace}")
+    if result.profile is not None:
+        print("\nrun profile:")
+        print(result.profile.format())
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.scenario_file import (
         ScenarioError,
@@ -155,6 +195,22 @@ def main(argv: list[str] | None = None) -> int:
     run = sub.add_parser("run", help="run a JSON scenario file")
     run.add_argument("--config", required=True)
     run.set_defaults(func=_cmd_run)
+    trial = sub.add_parser(
+        "trial", help="run one seeded trial with optional instrumentation"
+    )
+    trial.add_argument("--seed", type=int, default=1)
+    trial.add_argument("--attack", default="single", choices=ATTACK_TYPES)
+    trial.add_argument("--cluster", type=int, default=5)
+    trial.add_argument(
+        "--metrics", action="store_true", help="print nonzero counters"
+    )
+    trial.add_argument(
+        "--trace", metavar="PATH", default=None, help="write a JSONL trace"
+    )
+    trial.add_argument(
+        "--profile", action="store_true", help="print the run profile"
+    )
+    trial.set_defaults(func=_cmd_trial)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -84,6 +84,10 @@ class TrialConfig:
     #: detection and isolation phases complete
     settle_time: float = 40.0
     warmup: float = 1.0
+    #: observability switches (all off by default; see :mod:`repro.obs`)
+    metrics: bool = False
+    trace: bool = False
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.attack not in ATTACK_TYPES:

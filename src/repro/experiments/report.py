@@ -154,6 +154,26 @@ def generate_report(out_dir: str | Path, *, trials: int = 20) -> ReportResult:
         "```", "",
     ]
 
+    # Run profile -----------------------------------------------------
+    from repro.experiments.config import TrialConfig
+    from repro.experiments.trial import run_trial
+
+    profiled = run_trial(TrialConfig(seed=1, profile=True, metrics=True))
+    profile = profiled.profile
+    if profile is None or profile.events == 0:
+        failures.append("profiled trial executed no events")
+    else:
+        packets_sent = sum(
+            value
+            for key, value in profiled.metrics.items()
+            if key.startswith("net.sent") and isinstance(value, int)
+        )
+        sections += [
+            "## Run profile (one single-attack trial, seed 1)", "```",
+            profile.format(top=8), "",
+            f"net packets sent: {packets_sent}", "```", "",
+        ]
+
     # PDR + urban -----------------------------------------------------
     pdr = run_pdr()
     save_csv("pdr.csv", pdr_csv(pdr))

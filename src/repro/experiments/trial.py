@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.attacks import AttackerPolicy
 from repro.core.accounting import DetectionRecord
 from repro.core.verifier import VerificationOutcome
+from repro.obs import ProfileReport, TraceEvent
 from repro.experiments.config import (
     ATTACK_COOPERATIVE,
     ATTACK_NONE,
@@ -36,6 +37,13 @@ class TrialResult:
     honest_addresses: set[str] = field(default_factory=set)
     outcome: VerificationOutcome | None = None
     records: list[DetectionRecord] = field(default_factory=list)
+    #: populated when :attr:`TrialConfig.metrics` is set: a JSON-ready
+    #: snapshot of every counter/gauge/histogram at the end of the run
+    metrics: dict | None = None
+    #: populated when :attr:`TrialConfig.trace` is set
+    trace_events: list[TraceEvent] | None = None
+    #: populated when :attr:`TrialConfig.profile` is set
+    profile: ProfileReport | None = None
 
     # ------------------------------------------------------------------
     # Derived classifications
@@ -123,6 +131,13 @@ def choose_destination_cluster(config: TrialConfig) -> int:
 def run_trial(config: TrialConfig) -> TrialResult:
     """Build the world, run the trial, and classify the outcome."""
     world = build_world(seed=config.seed, config=config.blackdp)
+    obs = world.sim.obs
+    if config.metrics:
+        obs.enable_metrics()
+    if config.trace:
+        obs.enable_trace()
+    if config.profile:
+        obs.enable_profiler()
     rng = world.sim.rng("trial")
     highway = world.highway
 
@@ -176,4 +191,10 @@ def run_trial(config: TrialConfig) -> TrialResult:
     }
     result.outcome = outcomes[0] if outcomes else None
     result.records = world.all_records()
+    if obs.metrics is not None:
+        result.metrics = obs.metrics.snapshot()
+    if obs.trace is not None:
+        result.trace_events = list(obs.trace.events)
+    if obs.profiler is not None:
+        result.profile = obs.profiler.report()
     return result

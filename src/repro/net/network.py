@@ -217,11 +217,23 @@ class Network:
                 label=f"overhear {packet.kind}",
             )
 
+    def _observe_drop(self, sender: Node, packet: Packet, cause: str) -> None:
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("net.dropped", cause=cause, kind=packet.kind).inc()
+        if obs.trace is not None:
+            obs.trace.emit(sender.node_id, "net.drop", packet, detail=cause)
+
     def transmit(self, sender: Node, packet: Packet) -> None:
         """Send ``packet``; broadcast fans out to all in-range nodes."""
         self.stats.sent += 1
         self.stats.by_kind[packet.kind] += 1
         self._account_bytes(packet)
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("net.sent", kind=packet.kind).inc()
+        if obs.trace is not None:
+            obs.trace.emit(sender.node_id, "net.send", packet)
         for tap in self.taps:
             tap(packet, "air")
         self._overhear(sender, packet)
@@ -232,15 +244,18 @@ class Network:
         receiver = self._by_address.get(packet.dst)
         if receiver is None:
             self.stats.dropped_unknown_address += 1
+            self._observe_drop(sender, packet, "unknown-address")
             return
         if not self.in_range(sender, receiver):
             self.stats.dropped_out_of_range += 1
+            self._observe_drop(sender, packet, "out-of-range")
             return
         self._deliver(sender, receiver, packet)
 
     def _deliver(self, sender: Node, receiver: Node, packet: Packet) -> None:
         if self.config.loss_rate and self._rng.random() < self.config.loss_rate:
             self.stats.dropped_loss += 1
+            self._observe_drop(sender, packet, "loss")
             return
         delay = self.config.per_hop_delay
         if self.config.jitter:
@@ -254,6 +269,11 @@ class Network:
             # The receiver may have left or re-addressed mid-flight.
             if receiver.network is self:
                 self.stats.delivered += 1
+                obs = self.sim.obs
+                if obs.metrics is not None:
+                    obs.metrics.counter("net.delivered", kind=packet.kind).inc()
+                if obs.trace is not None:
+                    obs.trace.emit(receiver.node_id, "net.deliver", packet)
                 receiver.on_receive(packet, sender_address)
 
         self.sim.schedule(delay, arrive, label=f"deliver {packet.kind}")
@@ -283,14 +303,21 @@ class Network:
         hops = self.backbone_path_length(sender.address, packet.dst)
         if hops is None:
             self.stats.dropped_unknown_address += 1
+            self._observe_drop(sender, packet, "backbone-unreachable")
             return False
         receiver = self._by_address.get(packet.dst)
         if receiver is None:
             self.stats.dropped_unknown_address += 1
+            self._observe_drop(sender, packet, "backbone-unknown-address")
             return False
         self.stats.backbone_sent += 1
         self.stats.by_kind[packet.kind] += 1
         self._account_bytes(packet)
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("net.backbone_sent", kind=packet.kind).inc()
+        if obs.trace is not None:
+            obs.trace.emit(sender.node_id, "net.backbone_send", packet)
         for tap in self.taps:
             tap(packet, "wire")
         delay = max(1, hops) * self.config.wired_hop_delay
@@ -299,6 +326,13 @@ class Network:
         def arrive() -> None:
             if receiver.network is self:
                 self.stats.backbone_delivered += 1
+                obs = self.sim.obs
+                if obs.metrics is not None:
+                    obs.metrics.counter(
+                        "net.backbone_delivered", kind=packet.kind
+                    ).inc()
+                if obs.trace is not None:
+                    obs.trace.emit(receiver.node_id, "net.backbone_deliver", packet)
                 receiver.on_receive(packet, sender_address)
 
         self.sim.schedule(delay, arrive, label=f"backbone {packet.kind}")

@@ -203,6 +203,14 @@ class AodvProtocol:
     def sim(self):
         return self.node.sim
 
+    def _count_route_update(self) -> None:
+        """Mirror accepted routing-table installs into the metrics
+        registry (route-table churn; only called when metrics could be
+        on — callers already hold the install result)."""
+        metrics = self.sim.obs.metrics
+        if metrics is not None:
+            metrics.counter("aodv.route_updates", node=self.node.node_id).inc()
+
     def add_rrep_listener(self, listener: Callable[[RouteReply, str], None]) -> None:
         """Observe every RREP that terminates at this node (BlackDP hooks)."""
         self._rrep_listeners.append(listener)
@@ -251,6 +259,14 @@ class AodvProtocol:
             rreq_id=self._rreq_counter,
         )
         self._seen_rreqs.add(rreq.key)
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("aodv.rreq_originated", node=self.node.node_id).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.node.node_id, "aodv.rreq_tx", rreq,
+                detail=f"rreq_id={rreq.rreq_id}",
+            )
         self.node.send(rreq)
         state.timer_event = self.sim.schedule(
             self.config.discovery_timeout,
@@ -282,13 +298,15 @@ class AodvProtocol:
         now = self.sim.now
         # Reverse route towards the originator.
         if packet.originator != self.address:
-            self.table.consider(
+            installed = self.table.consider(
                 packet.originator,
                 next_hop=sender,
                 hop_count=packet.hop_count + 1,
                 destination_seq=packet.originator_seq,
                 expires_at=now + self.config.route_lifetime,
             )
+            if installed:
+                self._count_route_update()
         self._answer_rreq(packet, sender)
 
     def _answer_rreq(self, packet: RouteRequest, sender: str) -> None:
@@ -310,6 +328,7 @@ class AodvProtocol:
                 destination=self.address,
                 destination_seq=self.own_seq,
                 hop_count=0,
+                in_reply_to=packet,
             )
             return
         entry = self.table.lookup(packet.destination, now)
@@ -326,6 +345,7 @@ class AodvProtocol:
                 destination=packet.destination,
                 destination_seq=entry.destination_seq,
                 hop_count=entry.hop_count,
+                in_reply_to=packet,
             )
             if self.config.gratuitous_rrep:
                 self._send_gratuitous_rrep(packet, entry)
@@ -344,6 +364,16 @@ class AodvProtocol:
                 request_next_hop=packet.request_next_hop,
                 claim_check=packet.claim_check,
             )
+            obs = self.sim.obs
+            if obs.metrics is not None:
+                obs.metrics.counter(
+                    "aodv.rreq_rebroadcast", node=self.node.node_id
+                ).inc()
+            if obs.trace is not None:
+                obs.trace.emit(
+                    self.node.node_id, "aodv.rreq_fwd", rebroadcast,
+                    cause=f"uid:{packet.uid}",
+                )
             self.node.send(rebroadcast)
 
     def _send_gratuitous_rrep(self, packet: RouteRequest, entry: RouteEntry) -> None:
@@ -360,6 +390,14 @@ class AodvProtocol:
             lifetime=self.config.route_lifetime,
             replied_by=self.address,
         )
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("aodv.gratuitous_rrep", node=self.node.node_id).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.node.node_id, "aodv.rrep_gratuitous", gratuitous,
+                cause=f"uid:{packet.uid}",
+            )
         self.node.send(gratuitous)
 
     def _send_rrep(
@@ -371,8 +409,14 @@ class AodvProtocol:
         destination_seq: int,
         hop_count: int,
         next_hop_claim: str | None = None,
+        in_reply_to: RouteRequest | None = None,
     ) -> None:
-        """Generate (and sign, when we have an identity) a fresh RREP."""
+        """Generate (and sign, when we have an identity) a fresh RREP.
+
+        ``in_reply_to`` is the triggering RREQ; it only feeds the trace's
+        causality tag (``uid:<rreq uid>``) so an RREQ→RREP exchange can
+        be reconstructed from the JSONL trace by packet id.
+        """
         self.stats.rrep_generated += 1
         rrep = RouteReply(
             src=self.address,
@@ -387,6 +431,14 @@ class AodvProtocol:
             cluster_of_replier=self.cluster_info() if self.cluster_info else 0,
         )
         self._maybe_sign(rrep)
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("aodv.rrep_generated", node=self.node.node_id).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.node.node_id, "aodv.rrep_tx", rrep,
+                cause=f"uid:{in_reply_to.uid}" if in_reply_to is not None else "",
+            )
         self.node.send(rrep)
 
     def _maybe_sign(self, rrep: RouteReply) -> None:
@@ -406,21 +458,37 @@ class AodvProtocol:
     # ------------------------------------------------------------------
     def _on_rrep(self, packet: RouteReply, sender: str) -> None:
         if self.reply_filter is not None and not self.reply_filter(packet):
+            obs = self.sim.obs
+            if obs.metrics is not None:
+                obs.metrics.counter("aodv.rrep_filtered", node=self.node.node_id).inc()
+            if obs.trace is not None:
+                obs.trace.emit(
+                    self.node.node_id, "aodv.rrep_filtered", packet,
+                    detail=f"replied_by={packet.replied_by}",
+                )
             return
         now = self.sim.now
         # Forward route to the destination through whoever handed us this.
         if packet.destination != self.address:
-            self.table.consider(
+            installed = self.table.consider(
                 packet.destination,
                 next_hop=sender,
                 hop_count=packet.hop_count + 1,
                 destination_seq=packet.destination_seq,
                 expires_at=now + max(packet.lifetime, self.config.route_lifetime),
             )
+            if installed:
+                self._count_route_update()
         if packet.originator == self.address:
             state = self._discoveries.get(packet.destination)
             if state is not None:
                 state.replies.append(packet)
+            obs = self.sim.obs
+            if obs.trace is not None:
+                obs.trace.emit(
+                    self.node.node_id, "aodv.rrep_rx", packet,
+                    detail=f"replied_by={packet.replied_by}",
+                )
             for listener in self._rrep_listeners:
                 listener(packet, sender)
             return
@@ -444,6 +512,14 @@ class AodvProtocol:
             certificate=packet.certificate,
             signature=packet.signature,
         )
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("aodv.rrep_forwarded", node=self.node.node_id).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.node.node_id, "aodv.rrep_fwd", forwarded,
+                cause=f"uid:{packet.uid}",
+            )
         self.node.send(forwarded)
 
     # ------------------------------------------------------------------
@@ -472,6 +548,15 @@ class AodvProtocol:
                 self._start_local_repair(packet)
                 return True
             self.stats.data_dropped_no_route += 1
+            obs = self.sim.obs
+            if obs.metrics is not None:
+                obs.metrics.counter(
+                    "aodv.data_dropped", node=self.node.node_id, cause="no-route"
+                ).inc()
+            if obs.trace is not None:
+                obs.trace.emit(
+                    self.node.node_id, "aodv.data_drop", packet, detail="no-route"
+                )
             self._report_broken_route(packet.final_destination)
             return False
         hop = DataPacket(
@@ -509,10 +594,22 @@ class AodvProtocol:
     def _on_data(self, packet: DataPacket, sender: str) -> None:
         if packet.final_destination == self.address:
             self.stats.data_delivered += 1
+            metrics = self.sim.obs.metrics
+            if metrics is not None:
+                metrics.counter("aodv.data_delivered", node=self.node.node_id).inc()
             for sink in self._data_sinks:
                 sink(packet)
             return
         if not self._accept_data(packet, sender):
+            obs = self.sim.obs
+            if obs.metrics is not None:
+                obs.metrics.counter(
+                    "aodv.data_dropped", node=self.node.node_id, cause="refused"
+                ).inc()
+            if obs.trace is not None:
+                obs.trace.emit(
+                    self.node.node_id, "aodv.data_drop", packet, detail="refused"
+                )
             return
         self.stats.data_forwarded += 1
         self._forward_data(packet)
@@ -542,6 +639,9 @@ class AodvProtocol:
             self._hello_timer = None
 
     def _hello_tick(self) -> None:
+        metrics = self.sim.obs.metrics
+        if metrics is not None:
+            metrics.counter("aodv.hello_sent", node=self.node.node_id).inc()
         self.node.send(
             HelloBeacon(
                 src=self.address,
@@ -554,7 +654,10 @@ class AodvProtocol:
 
     def _on_hello(self, packet: HelloBeacon, sender: str) -> None:
         self._neighbors_last_heard[sender] = self.sim.now
-        self.table.consider(
+        metrics = self.sim.obs.metrics
+        if metrics is not None:
+            metrics.counter("aodv.hello_received", node=self.node.node_id).inc()
+        installed = self.table.consider(
             sender,
             next_hop=sender,
             hop_count=1,
@@ -562,6 +665,8 @@ class AodvProtocol:
             expires_at=self.sim.now
             + self.config.hello_interval * (self.config.allowed_hello_loss + 1),
         )
+        if installed and metrics is not None:
+            self._count_route_update()
 
     def _check_neighbor_timeouts(self) -> None:
         deadline = self.sim.now - (
@@ -587,9 +692,16 @@ class AodvProtocol:
 
     def _send_rerr(self, unreachable: list[tuple[str, int]]) -> None:
         self.stats.rerr_sent += 1
-        self.node.send(
-            RouteError(src=self.address, dst=BROADCAST, unreachable=unreachable)
-        )
+        rerr = RouteError(src=self.address, dst=BROADCAST, unreachable=unreachable)
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("aodv.rerr_sent", node=self.node.node_id).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.node.node_id, "aodv.rerr_tx", rerr,
+                detail=f"unreachable={len(unreachable)}",
+            )
+        self.node.send(rerr)
 
     def _on_rerr(self, packet: RouteError, sender: str) -> None:
         affected: list[tuple[str, int]] = []

@@ -3,14 +3,19 @@
 The whole reproduction is built on this loop.  Nodes, channels, timers and
 protocols never sleep or poll; they schedule callbacks at absolute virtual
 times and the simulator executes them in deterministic order.
+
+Observability hangs off ``sim.obs`` (see :mod:`repro.obs`): when a
+profiler is enabled the loop times each event and tracks queue depth;
+when nothing is enabled the loop body pays a single ``None`` check.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.obs import Observability
 from repro.sim.events import Event, EventQueue, PRIORITY_NORMAL
-from repro.sim.logging import SimLogger
+from repro.sim.logging import WARNING, SimLogger
 from repro.sim.rng import RandomStreams
 
 
@@ -37,7 +42,10 @@ class Simulator:
         self.now: float = 0.0
         self.queue = EventQueue()
         self.streams = RandomStreams(seed)
-        self.logger = SimLogger(self, level=log_level if log_level is not None else 30)
+        self.logger = SimLogger(
+            self, level=WARNING if log_level is None else log_level
+        )
+        self.obs = Observability(self)
         self._running = False
         self._stopped = False
         self.events_executed = 0
@@ -98,6 +106,9 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        profiler = self.obs.profiler
+        if profiler is not None:
+            profiler.begin_run(self.now)
         try:
             while not self._stopped:
                 next_time = self.queue.peek_time()
@@ -109,7 +120,13 @@ class Simulator:
                 if event is None:  # pragma: no cover - raced cancellation
                     break
                 self.now = event.time
-                event.action()
+                if profiler is not None:
+                    profiler.note_queue_depth(len(self.queue) + 1)
+                    started = profiler.clock()
+                    event.action()
+                    profiler.record(event.label, profiler.clock() - started)
+                else:
+                    event.action()
                 executed += 1
                 self.events_executed += 1
                 if max_events is not None and executed >= max_events:
@@ -121,15 +138,42 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+            if profiler is not None:
+                profiler.end_run(self.now)
 
     def step(self) -> bool:
-        """Execute exactly one event.  Returns ``False`` when idle."""
+        """Execute exactly one event.  Returns ``False`` when idle.
+
+        Mirrors :meth:`run`'s guards: calling ``step`` from inside an
+        executing event raises (re-entrancy), and a pending :meth:`stop`
+        is honoured — the next ``step`` returns ``False`` without
+        executing and clears the flag, exactly as a fresh ``run`` would.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant step)")
+        if self._stopped:
+            self._stopped = False
+            return False
         event = self.queue.pop()
         if event is None:
             return False
-        self.now = event.time
-        event.action()
-        self.events_executed += 1
+        self._running = True
+        profiler = self.obs.profiler
+        try:
+            self.now = event.time
+            if profiler is not None:
+                profiler.note_queue_depth(len(self.queue) + 1)
+                profiler.begin_run(self.now)
+                started = profiler.clock()
+                event.action()
+                profiler.record(event.label, profiler.clock() - started)
+            else:
+                event.action()
+            self.events_executed += 1
+        finally:
+            self._running = False
+            if profiler is not None:
+                profiler.end_run(self.now)
         return True
 
     def stop(self) -> None:

@@ -1,0 +1,75 @@
+"""Unit tests for the simulation-time-aware logger."""
+
+from repro.sim import Simulator
+from repro.sim.logging import DEBUG, ERROR, INFO, WARNING, LogRecord, SimLogger
+
+
+def test_records_are_stamped_with_virtual_time():
+    sim = Simulator(seed=1)
+    logger = SimLogger(sim, level=DEBUG)
+    sim.schedule(3.25, lambda: logger.info("net", "delivered"))
+    sim.run()
+    (record,) = logger.records
+    assert record.time == 3.25
+    assert record.level == INFO
+    assert record.source == "net"
+    assert record.message == "delivered"
+
+
+def test_level_filtering_drops_below_threshold():
+    sim = Simulator(seed=1)
+    logger = SimLogger(sim, level=WARNING)
+    logger.debug("a", "too quiet")
+    logger.info("a", "still too quiet")
+    logger.warning("a", "kept")
+    logger.error("a", "also kept")
+    assert logger.messages() == ["kept", "also kept"]
+    logger.level = DEBUG
+    logger.debug("a", "now audible")
+    assert logger.messages()[-1] == "now audible"
+
+
+def test_capacity_evicts_oldest_records():
+    sim = Simulator(seed=1)
+    logger = SimLogger(sim, level=DEBUG, capacity=3)
+    for i in range(5):
+        logger.info("src", f"m{i}")
+    assert logger.messages() == ["m2", "m3", "m4"]
+
+
+def test_sink_receives_formatted_lines_of_kept_records_only():
+    sim = Simulator(seed=1)
+    lines = []
+    logger = SimLogger(sim, level=WARNING, sink=lines.append)
+    logger.info("quiet", "filtered before the sink")
+    logger.warning("loud", "boom")
+    assert len(lines) == 1
+    assert "WARNING" in lines[0]
+    assert "loud: boom" in lines[0]
+
+
+def test_messages_filters_by_source():
+    sim = Simulator(seed=1)
+    logger = SimLogger(sim, level=DEBUG)
+    logger.info("aodv", "rreq out")
+    logger.info("net", "dropped")
+    logger.info("aodv", "rrep in")
+    assert logger.messages(source="aodv") == ["rreq out", "rrep in"]
+    assert logger.messages(source="net") == ["dropped"]
+    assert logger.messages(source="nope") == []
+
+
+def test_record_format_names_the_level():
+    record = LogRecord(time=1.5, level=ERROR, source="sim", message="bad")
+    formatted = record.format()
+    assert "ERROR" in formatted
+    assert "sim: bad" in formatted
+    unknown = LogRecord(time=0.0, level=55, source="x", message="y")
+    assert "55" in unknown.format()
+
+
+def test_simulator_default_logger_level_is_warning():
+    sim = Simulator(seed=1)
+    assert sim.logger.level == WARNING
+    quiet = Simulator(seed=1, log_level=DEBUG)
+    assert quiet.logger.level == DEBUG

@@ -84,6 +84,33 @@ def test_step_executes_exactly_one_event():
     assert not sim.step()
 
 
+def test_step_from_inside_an_event_raises():
+    sim = Simulator()
+    failures = []
+
+    def reenter():
+        try:
+            sim.step()
+        except SimulationError as error:
+            failures.append(str(error))
+
+    sim.schedule(1.0, reenter)
+    assert sim.step()
+    assert failures and "re-entrant" in failures[0]
+
+
+def test_step_honours_pending_stop_once():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append("a"))
+    sim.schedule(2.0, lambda: seen.append("b"))
+    sim.stop()
+    assert not sim.step()  # pending stop consumed, nothing executed
+    assert seen == []
+    assert sim.step()  # flag cleared: stepping resumes
+    assert seen == ["a"]
+
+
 def test_events_executed_counter():
     sim = Simulator()
     for i in range(5):
