@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import BlackDpConfig
 from repro.mobility.highway import Highway
+from repro.net import ChannelConfig
 
 #: Attack types a trial can run.
 ATTACK_NONE = "none"
@@ -88,6 +89,9 @@ class TrialConfig:
     metrics: bool = False
     trace: bool = False
     profile: bool = False
+    #: channel override (None = defaults); used e.g. to A/B the spatial
+    #: neighbour index (``ChannelConfig(spatial_index=False)``)
+    channel: ChannelConfig | None = None
 
     def __post_init__(self) -> None:
         if self.attack not in ATTACK_TYPES:

@@ -130,7 +130,9 @@ def choose_destination_cluster(config: TrialConfig) -> int:
 
 def run_trial(config: TrialConfig) -> TrialResult:
     """Build the world, run the trial, and classify the outcome."""
-    world = build_world(seed=config.seed, config=config.blackdp)
+    world = build_world(
+        seed=config.seed, config=config.blackdp, channel=config.channel
+    )
     obs = world.sim.obs
     if config.metrics:
         obs.enable_metrics()

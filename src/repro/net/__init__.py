@@ -12,11 +12,14 @@ Public API
 - :class:`~repro.net.packets.Packet` -- base class for all messages.
 - :class:`~repro.net.node.Node` -- base class for vehicles and RSUs.
 - :class:`~repro.net.network.Network` -- the radio medium + backbone.
+- :class:`~repro.net.spatial.SpatialIndex` -- uniform-grid neighbour
+  index serving the broadcast hot path (``ChannelConfig.spatial_index``).
 """
 
 from repro.net.network import BROADCAST, ChannelConfig, Network, NetworkStats
 from repro.net.node import Node
 from repro.net.packets import Packet
+from repro.net.spatial import SpatialIndex
 
 __all__ = [
     "BROADCAST",
@@ -25,4 +28,5 @@ __all__ = [
     "NetworkStats",
     "Node",
     "Packet",
+    "SpatialIndex",
 ]

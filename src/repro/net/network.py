@@ -13,6 +13,13 @@ one hop is millimetres, so this is exact for all practical purposes.
 The backbone is a :mod:`networkx` graph over RSU addresses; packets
 between connected RSUs take ``wired_hop_delay`` per backbone hop and
 ignore radio range entirely.
+
+Neighbour queries (broadcast fan-out, ``neighbors()``, monitor
+overhearing, and the unicast range check) are served by an epoch-based
+uniform-grid index (:mod:`repro.net.spatial`) when
+``ChannelConfig.spatial_index`` is on — identical results to the
+brute-force scan, at O(nearby cells) per query instead of O(N).  See
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import networkx as nx
 
 from repro.net.node import Node
 from repro.net.packets import Packet
+from repro.net.spatial import SpatialIndex
 from repro.sim.simulator import Simulator
 
 #: Destination address meaning "every node in radio range".
@@ -49,6 +57,20 @@ class ChannelConfig:
         When True, every transmitted packet is measured through the
         binary wire codec and per-kind byte totals are accumulated in
         the stats (costs one encode per send; off by default).
+    spatial_index:
+        When True (default) neighbour queries and broadcast fan-out are
+        served by a uniform-grid :class:`~repro.net.spatial.SpatialIndex`
+        instead of an O(N) scan.  Results are identical either way; the
+        switch exists for A/B benchmarking and as an escape hatch.
+    spatial_guard_band:
+        Metres of kinematic drift the index absorbs between rebuilds;
+        queries widen by this much and the snapshot validity window is
+        ``guard_band / spatial_max_speed`` seconds.
+    spatial_max_speed:
+        Top speed (m/s) the index derives its rebuild epoch from.  A
+        correctness contract: no simulated object may move faster
+        (default 75 m/s = 270 km/h, comfortably above the paper's 90
+        km/h traffic and the fastest fleeing attacker).
     """
 
     per_hop_delay: float = 0.002
@@ -56,12 +78,17 @@ class ChannelConfig:
     loss_rate: float = 0.0
     wired_hop_delay: float = 0.001
     account_bytes: bool = False
+    spatial_index: bool = True
+    spatial_guard_band: float = 50.0
+    spatial_max_speed: float = 75.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
         if self.per_hop_delay < 0 or self.jitter < 0 or self.wired_hop_delay < 0:
             raise ValueError("delays must be non-negative")
+        if self.spatial_guard_band <= 0 or self.spatial_max_speed <= 0:
+            raise ValueError("spatial guard band and max speed must be positive")
 
 
 @dataclass
@@ -108,6 +135,17 @@ class Network:
         #: transmission, radio ("air") and backbone ("wire") alike —
         #: instrumentation for tracing, not a protocol-visible channel
         self.taps: list[Callable[[Packet, str], None]] = []
+        #: uniform-grid neighbour index (None when disabled by config);
+        #: serves broadcast fan-out, neighbors() and in_range rejection
+        self.spatial: SpatialIndex | None = (
+            SpatialIndex(
+                self,
+                guard_band=self.config.spatial_guard_band,
+                max_speed=self.config.spatial_max_speed,
+            )
+            if self.config.spatial_index
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Membership
@@ -119,21 +157,50 @@ class Network:
         node.network = self
         self._by_address[node.address] = node
         self.nodes.append(node)
+        if self.spatial is not None:
+            self.spatial.add(node)
 
     def detach(self, node: Node) -> None:
-        """Remove a node (e.g. a vehicle leaving the highway)."""
-        self._by_address.pop(node.address, None)
+        """Remove a node (e.g. a vehicle leaving the highway).
+
+        Strips *every* trace of the node from the medium: its primary
+        address, any disposable-identity aliases still pointing at it
+        (so departed pseudonyms become reusable and ``node_at`` goes
+        falsy), and its promiscuous monitor registrations (a vehicle
+        that left the highway must stop overhearing traffic).
+        """
+        stale = [
+            address
+            for address, owner in self._by_address.items()
+            if owner is node
+        ]
+        for address in stale:
+            del self._by_address[address]
         if node in self.nodes:
             self.nodes.remove(node)
+        self.remove_monitor(node)
+        if self.spatial is not None:
+            self.spatial.remove(node)
         node.network = None
 
     def readdress(self, node: Node, old_address: str) -> None:
-        """Re-key a node after a pseudonym change."""
+        """Re-key a node after a pseudonym change.
+
+        Atomic: the new address is validated *before* the old mapping is
+        dropped, so a pseudonym collision raises with the address table
+        unchanged (the node stays reachable under ``old_address``).
+        """
+        holder = self._by_address.get(node.address)
+        if holder is not None and holder is not node:
+            raise ValueError(f"address {node.address!r} already in use")
         if self._by_address.get(old_address) is node:
             del self._by_address[old_address]
-        if node.address in self._by_address and self._by_address[node.address] is not node:
-            raise ValueError(f"address {node.address!r} already in use")
         self._by_address[node.address] = node
+
+    def note_moved(self, node: Node) -> None:
+        """Re-index a node after an explicit ``set_position`` teleport."""
+        if self.spatial is not None:
+            self.spatial.move(node)
 
     def node_at(self, address: str) -> Node | None:
         """Node currently holding ``address``, if attached."""
@@ -159,12 +226,24 @@ class Network:
     # ------------------------------------------------------------------
     # Connectivity
     # ------------------------------------------------------------------
-    def in_range(self, a: Node, b: Node) -> bool:
-        """Bidirectional unit-disk reachability."""
+    def _pair_in_range(self, a: Node, b: Node) -> bool:
+        """Exact bidirectional unit-disk check (the oracle predicate)."""
         if a is b:
             return False
         limit = min(a.transmission_range, b.transmission_range)
         return a.distance_to(b) <= limit
+
+    def in_range(self, a: Node, b: Node) -> bool:
+        """Bidirectional unit-disk reachability.
+
+        With the spatial index enabled, pairs whose snapshot cells are
+        provably too far apart are rejected without computing a
+        distance; the exact predicate decides everything else, so the
+        result is identical to the brute-force check.
+        """
+        if self.spatial is not None and not self.spatial.maybe_in_range(a, b):
+            return False
+        return self._pair_in_range(a, b)
 
     def neighbors(self, node: Node) -> list[Node]:
         """Nodes currently within bidirectional radio range.
@@ -172,9 +251,13 @@ class Network:
         This is the output of the secure-neighbour-discovery layer the
         paper assumes ("nodes can perform secure neighbor discovery by
         mutual authentication when two nodes are within the transmission
-        range of each other"); only attached, in-range nodes appear.
+        range of each other"); only attached, in-range nodes appear, in
+        attach order.  Served by the grid index when enabled (identical
+        result, O(nearby cells) instead of O(N)).
         """
-        return [other for other in self.nodes if self.in_range(node, other)]
+        if self.spatial is not None:
+            return self.spatial.neighbors(node)
+        return [other for other in self.nodes if self._pair_in_range(node, other)]
 
     # ------------------------------------------------------------------
     # Radio transmission
@@ -207,6 +290,8 @@ class Network:
     def _overhear(self, sender: Node, packet: Packet) -> None:
         if not self._monitors:
             return
+        # in_range is index-accelerated: far-away monitors are rejected
+        # from snapshot cells without a distance computation.
         for monitor, callback in self._monitors:
             if monitor is sender or not self.in_range(sender, monitor):
                 continue

@@ -52,6 +52,9 @@ class Node:
         self.network: "Network | None" = None
         self._address = node_id
         self._handlers: dict[type, Handler] = {}
+        #: memoised handler resolution per concrete packet type; cleared
+        #: whenever the handler table changes
+        self._dispatch_cache: dict[type, Handler | None] = {}
         self.packets_received = 0
         self.packets_sent = 0
         #: optional admission predicate over (packet, sender address);
@@ -70,11 +73,21 @@ class Node:
         return self._address
 
     def set_address(self, address: str) -> None:
-        """Adopt a new on-air identity (pseudonym renewal)."""
+        """Adopt a new on-air identity (pseudonym renewal).
+
+        Atomic with respect to the network's address table: when the new
+        pseudonym collides with another node's, the whole operation
+        rolls back — ``ValueError`` propagates, this node keeps its old
+        address and stays registered under it.
+        """
         old = self._address
         self._address = address
         if self.network is not None:
-            self.network.readdress(self, old)
+            try:
+                self.network.readdress(self, old)
+            except Exception:
+                self._address = old
+                raise
 
     # ------------------------------------------------------------------
     # Position
@@ -86,6 +99,8 @@ class Node:
 
     def set_position(self, position: tuple[float, float]) -> None:
         self._position = position
+        if self.network is not None:
+            self.network.note_moved(self)
 
     def distance_to(self, other: "Node") -> float:
         ax, ay = self.position
@@ -98,10 +113,13 @@ class Node:
     def register_handler(self, packet_type: type, handler: Handler) -> None:
         """Route received packets of ``packet_type`` to ``handler``.
 
-        The most specific registered type wins (checked by exact type
-        first, then by subclass walk in registration order).
+        The most specific registered type wins: dispatch walks the
+        packet's MRO and takes the first registered class, so an exact
+        match beats a parent and a parent beats a grandparent no matter
+        in which order the handlers were registered.
         """
         self._handlers[packet_type] = handler
+        self._dispatch_cache.clear()
 
     def handler_for(self, packet_type: type) -> Handler | None:
         """Current handler registered for exactly ``packet_type``.
@@ -118,18 +136,31 @@ class Node:
         self.packets_sent += 1
         self.network.transmit(self, packet)
 
+    def _resolve_handler(self, packet_type: type) -> Handler | None:
+        """Most specific handler for ``packet_type``, resolved by MRO.
+
+        The resolution is memoised per concrete type; the cache is
+        invalidated whenever :meth:`register_handler` changes the table.
+        """
+        try:
+            return self._dispatch_cache[packet_type]
+        except KeyError:
+            pass
+        handler = None
+        for klass in packet_type.__mro__:
+            handler = self._handlers.get(klass)
+            if handler is not None:
+                break
+        self._dispatch_cache[packet_type] = handler
+        return handler
+
     def on_receive(self, packet: Packet, sender_address: str) -> None:
         """Dispatch an arriving packet to the registered handler."""
         if self.gate is not None and not self.gate(packet, sender_address):
             self.packets_gated += 1
             return
         self.packets_received += 1
-        handler = self._handlers.get(type(packet))
-        if handler is None:
-            for packet_type, candidate in self._handlers.items():
-                if isinstance(packet, packet_type):
-                    handler = candidate
-                    break
+        handler = self._resolve_handler(type(packet))
         if handler is not None:
             handler(packet, sender_address)
         else:
