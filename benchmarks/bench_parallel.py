@@ -1,0 +1,250 @@
+"""Parallel trial execution and result-cache benchmark.
+
+Measures the three claims behind ``repro.experiments.executor`` on a
+Figure 4 slice (attacks × clusters × trials of independent seeded
+simulations):
+
+1. determinism — the ``--jobs N`` rows are compared field-for-field
+   against the serial rows (a mismatch is a hard failure, not a number);
+2. parallel fan-out — cold serial vs cold ``--jobs N`` wall clock
+   (speedup tracks physical core count; a single-core CI box will
+   honestly report ~1x);
+3. the content-addressed cache — a warm re-run over a populated
+   ``--cache-dir`` must beat cold serial by an order of magnitude.
+
+Also micro-benchmarks the memoized certificate-signature verification
+(``repro.crypto.sigcache``) before/after, since trial throughput sits on
+top of it.
+
+Run the full sweep (writes ``BENCH_parallel.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+
+CI smoke mode (tiny slice, asserts serial == parallel == cached and a
+wall-clock budget, writes nothing)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import tempfile
+import time
+from datetime import date
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.crypto import TrustedAuthorityNetwork, signature_cache  # noqa: E402
+from repro.experiments import TableIConfig, TrialExecutor  # noqa: E402
+from repro.experiments.figure4 import run_figure4  # noqa: E402
+
+
+def figure4_slice(
+    *, trials: int, attacks, clusters, table, executor: TrialExecutor
+):
+    """One timed Figure 4 slice; returns (rows, wall_seconds)."""
+    started = time.perf_counter()
+    rows = run_figure4(
+        trials=trials,
+        attacks=attacks,
+        clusters=clusters,
+        table=table,
+        parallel=executor,
+    )
+    return rows, time.perf_counter() - started
+
+
+def bench_sigcache(verifications: int = 5000, certificates: int = 20) -> dict:
+    """Before/after micro-bench of memoized signature verification."""
+    net = TrustedAuthorityNetwork(random.Random(7))
+    ta = net.add_authority("ta1")
+    certs = [
+        ta.enroll(f"bench-{i}", now=0.0).certificate
+        for i in range(certificates)
+    ]
+
+    def loop() -> float:
+        started = time.perf_counter()
+        for i in range(verifications):
+            assert certs[i % certificates].verify_with(net.public_key, now=1.0)
+        return time.perf_counter() - started
+
+    signature_cache.clear()
+    signature_cache.enabled = False
+    uncached = loop()
+    signature_cache.enabled = True
+    signature_cache.clear()
+    cached = loop()
+    stats = signature_cache.stats()
+    signature_cache.clear()
+    return {
+        "verifications": verifications,
+        "certificates": certificates,
+        "uncached_us_per_verify": round(uncached / verifications * 1e6, 3),
+        "cached_us_per_verify": round(cached / verifications * 1e6, 3),
+        "speedup": round(uncached / cached, 2) if cached > 0 else float("inf"),
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+    }
+
+
+def assert_rows_equal(label: str, reference, candidate) -> None:
+    if candidate != reference:
+        raise AssertionError(
+            f"{label} rows diverged from the serial reference — the "
+            f"determinism contract is broken"
+        )
+
+
+def run_bench(
+    *, trials: int, attacks, clusters, jobs: int, vehicles: int | None
+) -> dict:
+    table = (
+        TableIConfig(num_vehicles=vehicles)
+        if vehicles is not None
+        else TableIConfig()
+    )
+    units = len(attacks) * len(clusters) * trials
+    kwargs = dict(trials=trials, attacks=attacks, clusters=clusters, table=table)
+
+    serial = TrialExecutor(jobs=1)
+    serial_rows, serial_seconds = figure4_slice(executor=serial, **kwargs)
+
+    pool = TrialExecutor(jobs=jobs)
+    pool_rows, pool_seconds = figure4_slice(executor=pool, **kwargs)
+    assert_rows_equal(f"--jobs {jobs}", serial_rows, pool_rows)
+
+    with tempfile.TemporaryDirectory(prefix="blackdp-cache-") as cache_dir:
+        cold_cache = TrialExecutor(jobs=jobs, cache_dir=cache_dir)
+        cold_rows, _ = figure4_slice(executor=cold_cache, **kwargs)
+        warm_cache = TrialExecutor(jobs=1, cache_dir=cache_dir)
+        warm_rows, warm_seconds = figure4_slice(executor=warm_cache, **kwargs)
+        assert_rows_equal("cold cache", serial_rows, cold_rows)
+        assert_rows_equal("warm cache", serial_rows, warm_rows)
+        if warm_cache.stats.cache_hits != units:
+            raise AssertionError(
+                f"warm run hit {warm_cache.stats.cache_hits}/{units} — the "
+                f"cache key is unstable"
+            )
+
+    return {
+        "trials": trials,
+        "attacks": list(attacks),
+        "clusters": list(clusters),
+        "vehicles": table.num_vehicles,
+        "units": units,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(pool_seconds, 3),
+        "parallel_speedup": round(serial_seconds / pool_seconds, 2)
+        if pool_seconds > 0
+        else float("inf"),
+        "warm_cache_seconds": round(warm_seconds, 4),
+        "warm_cache_speedup": round(serial_seconds / warm_seconds, 1)
+        if warm_seconds > 0
+        else float("inf"),
+        "serial_trials_per_sec": round(units / serial_seconds, 1),
+        "parallel_trials_per_sec": round(units / pool_seconds, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trials", type=int, default=25, help="trials per (attack, cluster)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(4, os.cpu_count() or 1) if (os.cpu_count() or 1) > 1 else 2,
+        help="worker processes for the parallel pass",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_parallel.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI slice: assert serial == parallel == cached under a "
+        "time budget, write nothing",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=120.0,
+        help="smoke-mode wall-clock budget in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    if args.smoke:
+        point = run_bench(
+            trials=3,
+            attacks=("single",),
+            clusters=(2, 9),
+            jobs=2,
+            vehicles=20,
+        )
+    else:
+        point = run_bench(
+            trials=args.trials,
+            attacks=("single", "cooperative"),
+            clusters=tuple(range(1, 11)),
+            jobs=args.jobs,
+            vehicles=None,
+        )
+    crypto = bench_sigcache()
+    total = time.perf_counter() - started
+
+    print(
+        f"{point['units']} units: serial {point['serial_seconds']:.2f}s, "
+        f"--jobs {point['jobs']} {point['parallel_seconds']:.2f}s "
+        f"({point['parallel_speedup']:.2f}x on {point['cpu_count']} cores), "
+        f"warm cache {point['warm_cache_seconds']:.3f}s "
+        f"({point['warm_cache_speedup']:.0f}x)"
+    )
+    print(
+        f"sigcache: {crypto['uncached_us_per_verify']:.2f} -> "
+        f"{crypto['cached_us_per_verify']:.2f} us/verify "
+        f"({crypto['speedup']:.1f}x, {crypto['hits']} hits)"
+    )
+
+    if args.smoke:
+        if point["warm_cache_speedup"] < 5:
+            print("FAIL: warm cache barely faster than recomputation")
+            return 1
+        print(f"smoke OK: serial == parallel == cached ({total:.1f}s)")
+        if total > args.budget:
+            print(f"FAIL: smoke exceeded {args.budget:.0f}s budget")
+            return 1
+        return 0
+
+    payload = {
+        "benchmark": (
+            "figure 4 slice through the trial executor: cold serial vs "
+            "cold parallel vs warm content-addressed cache, plus the "
+            "certificate signature memo before/after"
+        ),
+        "recorded": date.today().isoformat(),
+        "python": platform.python_version(),
+        "figure4_slice": point,
+        "signature_cache": crypto,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,9 +25,18 @@ renewal — is preserved.
 
 from repro.crypto.authority import TrustedAuthority, TrustedAuthorityNetwork
 from repro.crypto.certificates import Certificate, CertificateError
-from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, generate_keypair, sign, verify
+from repro.crypto.keys import (
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    expected_signature,
+    generate_keypair,
+    sign,
+    verify,
+)
 from repro.crypto.pseudonyms import PseudonymManager
 from repro.crypto.revocation import RevocationEntry, RevocationList
+from repro.crypto.sigcache import SignatureCache, signature_cache
 
 __all__ = [
     "Certificate",
@@ -38,9 +47,12 @@ __all__ = [
     "PublicKey",
     "RevocationEntry",
     "RevocationList",
+    "SignatureCache",
     "TrustedAuthority",
     "TrustedAuthorityNetwork",
+    "expected_signature",
     "generate_keypair",
     "sign",
+    "signature_cache",
     "verify",
 ]

@@ -22,6 +22,7 @@ from repro.crypto.certificates import Certificate, certificate_payload
 from repro.crypto.keys import KeyPair, PublicKey, generate_keypair, sign
 from repro.crypto.pseudonyms import PseudonymManager
 from repro.crypto.revocation import RevocationEntry, RevocationList
+from repro.crypto.sigcache import signature_cache
 
 #: Default certificate lifetime in simulation seconds.  Long relative to
 #: a single route discovery, short enough that pseudonym renewal happens
@@ -177,8 +178,18 @@ class TrustedAuthority:
         return entry
 
     def receive_revocation(self, entry: RevocationEntry) -> None:
-        """Accept a propagated revocation from a peer TA."""
+        """Accept a propagated revocation from a peer TA.
+
+        Also drops the revoked certificate's memoized signature from the
+        process-wide cache: the next verification of that payload starts
+        from first principles rather than a pre-revocation memo.
+        """
         self.crl.add(entry)
+        certificate = self._cert_of.get(entry.subject_id)
+        if certificate is not None:
+            signature_cache.invalidate(
+                self.network.public_key, certificate.signed_payload()
+            )
         owner = self._owner_of.get(entry.subject_id)
         if owner is not None:
             self.paused.add(owner)

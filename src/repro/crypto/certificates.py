@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.keys import PublicKey, verify
+from repro.crypto.keys import PublicKey
+from repro.crypto.sigcache import signature_cache
 
 
 class CertificateError(ValueError):
@@ -59,16 +60,25 @@ class Certificate:
             )
 
     def signed_payload(self) -> bytes:
-        """Canonical byte encoding of the fields covered by the signature."""
-        return certificate_payload(
-            self.subject_id,
-            self.public_key,
-            self.serial,
-            self.issued_at,
-            self.expires_at,
-            self.issuer_id,
-            self.role,
-        )
+        """Canonical byte encoding of the fields covered by the signature.
+
+        Memoized per instance: every field is frozen, so the encoding is
+        computed once and reused across the many verifications one
+        certificate sees during its lifetime.
+        """
+        payload = self.__dict__.get("_signed_payload")
+        if payload is None:
+            payload = certificate_payload(
+                self.subject_id,
+                self.public_key,
+                self.serial,
+                self.issued_at,
+                self.expires_at,
+                self.issuer_id,
+                self.role,
+            )
+            object.__setattr__(self, "_signed_payload", payload)
+        return payload
 
     def is_expired(self, now: float) -> bool:
         """True once the validity window has passed."""
@@ -77,10 +87,16 @@ class Certificate:
     def verify_with(self, authority_key: PublicKey, now: float) -> bool:
         """Full check a receiving node performs with the TA public key
         (paper: "uses the authority public key to decrypt the certificate
-        and extract K+"): signature valid and not expired."""
+        and extract K+"): signature valid and not expired.
+
+        Verification goes through the process-wide
+        :data:`~repro.crypto.sigcache.signature_cache`; the outcome is
+        identical to an uncached :func:`repro.crypto.keys.verify`."""
         if self.is_expired(now):
             return False
-        return verify(authority_key, self.signed_payload(), self.signature)
+        return signature_cache.verify(
+            authority_key, self.signed_payload(), self.signature
+        )
 
 
 def certificate_payload(

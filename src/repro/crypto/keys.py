@@ -87,6 +87,15 @@ def sign(private: PrivateKey, message: bytes) -> bytes:
     return hmac.new(private.secret, digest, hashlib.sha256).digest()
 
 
+def expected_signature(public: PublicKey, message: bytes) -> bytes:
+    """The tag the private key matching ``public`` would produce over
+    ``message``.  Deterministic, so verifiers may memoize it per
+    (key, message) pair; comparing a presented signature against it is
+    exactly :func:`verify`."""
+    digest = hashlib.sha256(message).digest()
+    return hmac.new(_derive_private(public), digest, hashlib.sha256).digest()
+
+
 def verify(public: PublicKey, message: bytes, signature: bytes) -> bool:
     """Check that ``signature`` was produced over ``message`` by the
     private key matching ``public``.  Constant-time comparison, and never
@@ -95,6 +104,4 @@ def verify(public: PublicKey, message: bytes, signature: bytes) -> bool:
         return False
     if len(signature) != _SIGNATURE_BYTES:
         return False
-    digest = hashlib.sha256(message).digest()
-    expected = hmac.new(_derive_private(public), digest, hashlib.sha256).digest()
-    return hmac.compare_digest(expected, bytes(signature))
+    return hmac.compare_digest(expected_signature(public, message), bytes(signature))

@@ -11,22 +11,35 @@ regenerators for every table/figure in the paper's evaluation.
   scenario (Figure 5).
 - :mod:`repro.experiments.sweeps` — ablations: probe design, baseline
   comparison, overhead versus density.
+- :mod:`repro.experiments.executor` — parallel trial execution with
+  deterministic ordering and a content-addressed result cache.
 
 Run from the command line::
 
-    python -m repro.experiments figure4 --trials 30
+    python -m repro.experiments figure4 --trials 30 --jobs 4
     python -m repro.experiments figure5
 """
 
-from repro.experiments.config import TableIConfig, TrialConfig
+from repro.experiments.config import TableIConfig, TrialConfig, point_seed
+from repro.experiments.executor import (
+    TrialExecutor,
+    TrialSummary,
+    summarize_trial,
+    trial_cache_key,
+)
 from repro.experiments.trial import TrialResult, run_trial
 from repro.experiments.world import World, build_world
 
 __all__ = [
     "TableIConfig",
     "TrialConfig",
+    "TrialExecutor",
     "TrialResult",
+    "TrialSummary",
     "World",
     "build_world",
+    "point_seed",
     "run_trial",
+    "summarize_trial",
+    "trial_cache_key",
 ]

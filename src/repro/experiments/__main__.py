@@ -7,6 +7,10 @@ Usage::
     python -m repro.experiments figure5
     python -m repro.experiments ablations
     python -m repro.experiments trial [--metrics] [--trace PATH] [--profile]
+
+``figure4``, ``figure5``, ``ablations``, ``report`` and ``run`` accept
+``--jobs N`` (worker processes; output is byte-identical to ``--jobs 1``)
+and ``--cache-dir DIR`` (content-addressed trial result cache).
 """
 
 from __future__ import annotations
@@ -15,6 +19,32 @@ import argparse
 import sys
 
 from repro.experiments.config import ATTACK_TYPES, TableIConfig
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = in-process; output is identical)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed trial result cache (JSONL, reusable)",
+    )
+
+
+def _make_executor(args: argparse.Namespace):
+    """Build a TrialExecutor when --jobs/--cache-dir ask for one."""
+    if args.jobs <= 1 and args.cache_dir is None:
+        return None
+    from repro.experiments.executor import TrialExecutor
+
+    return TrialExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
+def _print_executor_stats(executor) -> None:
+    if executor is not None and executor.stats.trials:
+        print()
+        print(executor.stats.format())
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -38,8 +68,10 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         if attack not in ATTACK_TYPES:
             print(f"unknown attack type {attack!r}", file=sys.stderr)
             return 2
-    rows = run_figure4(trials=args.trials, attacks=attacks)
+    executor = _make_executor(args)
+    rows = run_figure4(trials=args.trials, attacks=attacks, parallel=executor)
     print(format_figure4(rows))
+    _print_executor_stats(executor)
     problems = check_expected_shape(rows)
     if problems:
         print("\nshape violations versus the paper:")
@@ -54,8 +86,10 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
 def _cmd_figure5(args: argparse.Namespace) -> int:
     from repro.experiments.figure5 import format_figure5, run_figure5
 
-    rows = run_figure5()
+    executor = _make_executor(args)
+    rows = run_figure5(parallel=executor)
     print(format_figure5(rows))
+    _print_executor_stats(executor)
     return 0 if all(row.matches_paper for row in rows) else 1
 
 
@@ -72,15 +106,17 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments.congestion import format_congestion, run_congestion_sweep
     from repro.experiments.pdr import format_pdr, run_pdr
 
-    print(format_comparison(run_baseline_comparison()))
+    executor = _make_executor(args)
+    print(format_comparison(run_baseline_comparison(parallel=executor)))
     print()
     print(format_probe_ablation(run_probe_ablation()))
     print()
-    print(format_overhead(run_overhead_sweep()))
+    print(format_overhead(run_overhead_sweep(parallel=executor)))
     print()
-    print(format_congestion(run_congestion_sweep()))
+    print(format_congestion(run_congestion_sweep(parallel=executor)))
     print()
-    print(format_pdr(run_pdr()))
+    print(format_pdr(run_pdr(parallel=executor)))
+    _print_executor_stats(executor)
     return 0
 
 
@@ -99,7 +135,8 @@ def _cmd_urban(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
-    result = generate_report(args.out, trials=args.trials)
+    executor = _make_executor(args)
+    result = generate_report(args.out, trials=args.trials, parallel=executor)
     print(f"report written to {result.report_path}")
     for path in result.csv_paths:
         print(f"  csv: {path}")
@@ -161,8 +198,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (ScenarioError, OSError) as error:
         print(f"cannot load scenario: {error}", file=sys.stderr)
         return 2
-    outcome = run_scenario(scenario)
+    executor = _make_executor(args)
+    outcome = run_scenario(scenario, parallel=executor)
     print(outcome.summary())
+    _print_executor_stats(executor)
     return 0
 
 
@@ -176,13 +215,14 @@ def main(argv: list[str] | None = None) -> int:
     figure4 = sub.add_parser("figure4", help="regenerate Figure 4")
     figure4.add_argument("--trials", type=int, default=150)
     figure4.add_argument("--attacks", default="single,cooperative")
+    _add_parallel_args(figure4)
     figure4.set_defaults(func=_cmd_figure4)
-    sub.add_parser("figure5", help="regenerate Figure 5").set_defaults(
-        func=_cmd_figure5
-    )
-    sub.add_parser("ablations", help="run ablations A-D + PDR").set_defaults(
-        func=_cmd_ablations
-    )
+    figure5 = sub.add_parser("figure5", help="regenerate Figure 5")
+    _add_parallel_args(figure5)
+    figure5.set_defaults(func=_cmd_figure5)
+    ablations = sub.add_parser("ablations", help="run ablations A-D + PDR")
+    _add_parallel_args(ablations)
+    ablations.set_defaults(func=_cmd_ablations)
     urban = sub.add_parser("urban", help="urban-topology detection trial")
     urban.add_argument("--seed", type=int, default=3)
     urban.set_defaults(func=_cmd_urban)
@@ -191,9 +231,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     report.add_argument("--out", default="report")
     report.add_argument("--trials", type=int, default=20)
+    _add_parallel_args(report)
     report.set_defaults(func=_cmd_report)
     run = sub.add_parser("run", help="run a JSON scenario file")
     run.add_argument("--config", required=True)
+    _add_parallel_args(run)
     run.set_defaults(func=_cmd_run)
     trial = sub.add_parser(
         "trial", help="run one seeded trial with optional instrumentation"

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.core.config import BlackDpConfig
@@ -13,6 +14,28 @@ ATTACK_NONE = "none"
 ATTACK_SINGLE = "single"
 ATTACK_COOPERATIVE = "cooperative"
 ATTACK_TYPES = (ATTACK_NONE, ATTACK_SINGLE, ATTACK_COOPERATIVE)
+
+
+def point_key(attack: str, cluster: int) -> int:
+    """Stable per-point seed offset for a Monte Carlo sweep point.
+
+    Decorrelates the seed ranges of different ``(attack, cluster)``
+    points so trial ``i`` of one point never reuses the seed of trial
+    ``i`` of another.  CRC32 (not ``hash()``) so the value is identical
+    across processes and Python invocations — the executor's result
+    cache and the drivers must agree on it.
+    """
+    return zlib.crc32(f"{attack}:{cluster}".encode()) % 100_000
+
+
+def point_seed(base_seed: int, attack: str, cluster: int, trial_index: int) -> int:
+    """Seed of trial ``trial_index`` at one sweep point.
+
+    The single source of truth for Figure-4-style seed derivation; the
+    drivers, the trial executor and the cache key all call this rather
+    than keeping private copies of the formula.
+    """
+    return base_seed + point_key(attack, cluster) + trial_index
 
 
 @dataclass(frozen=True)

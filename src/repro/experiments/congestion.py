@@ -87,15 +87,23 @@ def _run_burst(reports: int, *, fog: bool, seed: int = 71) -> CongestionRow:
     )
 
 
+def _burst_point(reports: int, fog: bool, seed: int) -> CongestionRow:
+    """Positional wrapper for the executor (module-level, picklable)."""
+    return _run_burst(reports, fog=fog, seed=seed)
+
+
 def run_congestion_sweep(
-    bursts: tuple[int, ...] = (1, 5, 15, 30), seed: int = 71
+    bursts: tuple[int, ...] = (1, 5, 15, 30), seed: int = 71, *, parallel=None
 ) -> list[CongestionRow]:
-    """Measure detection latency for report bursts, fog off then on."""
-    rows = []
-    for fog in (False, True):
-        for reports in bursts:
-            rows.append(_run_burst(reports, fog=fog, seed=seed))
-    return rows
+    """Measure detection latency for report bursts, fog off then on.
+
+    Every ``(fog, burst)`` cell is an independent seeded world, so
+    ``parallel`` may run the grid in worker processes.
+    """
+    grid = [(reports, fog, seed) for fog in (False, True) for reports in bursts]
+    if parallel is not None:
+        return parallel.map(_burst_point, grid)
+    return [_burst_point(*cell) for cell in grid]
 
 
 def format_congestion(rows: list[CongestionRow]) -> str:

@@ -1,0 +1,477 @@
+"""Parallel trial execution with deterministic ordering and a result cache.
+
+Every paper figure is a Monte Carlo sweep of *independent* seeded trials
+(Figure 4 alone is 3,000 of them), and the drivers used to run them in a
+serial Python loop.  :class:`TrialExecutor` fans those work units out
+over a :class:`concurrent.futures.ProcessPoolExecutor` while keeping the
+one property the reproduction cannot lose: **determinism**.
+
+The contract
+------------
+- Work units are ``(TrialConfig, seed)`` pairs (the seed lives inside
+  the config); each is simulated in isolation from a single root seed,
+  so a trial's result does not depend on which process ran it or when.
+- Results are re-assembled strictly in submission order, so
+  ``jobs=N`` output is byte-identical to ``jobs=1`` output (enforced by
+  ``tests/test_executor.py`` and the CI parallel smoke job).
+- Units are chunked (``chunk_size``, auto by default) to amortise
+  pickling and process round-trips.
+- A worker crash fails only the chunks it held: each failed chunk is
+  retried once in a fresh pool, then falls back to in-process
+  execution, where a genuine (deterministic) exception surfaces with a
+  clean traceback instead of a ``BrokenProcessPool``.
+- With ``cache_dir`` set, results are stored content-addressed under a
+  stable hash of the full ``TrialConfig`` (seed included); re-runs and
+  report regeneration skip already-computed trials.  The cache is
+  keyed by *configuration*, not code — discard it when the simulation
+  code changes (see ``docs/performance.md``).
+
+Workers are warm-started by an initializer that pre-imports the trial
+machinery and touches the Table I world configuration, so the first
+unit of every worker does not pay the import/setup cost inside a
+timed region.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.experiments.config import ATTACK_NONE, TrialConfig
+
+#: Bump when the summary fields or the canonical config encoding change;
+#: old cache entries then miss instead of deserialising garbage.
+CACHE_SCHEMA = 1
+
+#: Shard count for the JSONL cache (single hex digit of the key).
+_CACHE_SHARDS = 16
+
+
+# ----------------------------------------------------------------------
+# Trial summaries: the picklable, JSON-round-trippable unit of result
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrialSummary:
+    """Everything the sweep drivers consume from one trial.
+
+    A deliberate reduction of :class:`~repro.experiments.trial.TrialResult`:
+    plain ints/bools/strings only, so it crosses process boundaries
+    cheaply and round-trips through the JSONL cache without loss (the
+    determinism contract compares these objects for equality).
+    """
+
+    seed: int
+    attack: str
+    attacker_cluster: int | None
+    policy_name: str
+    detected: bool
+    false_positive: bool
+    attack_impeded: bool
+    detection_packets: int | None
+    convicted_attackers: int
+    convicted_honest: int
+
+    @property
+    def attack_present(self) -> bool:
+        return self.attack != ATTACK_NONE
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialSummary":
+        return cls(**{f.name: payload[f.name] for f in dataclasses.fields(cls)})
+
+
+def summarize_trial(config: TrialConfig, result) -> TrialSummary:
+    """Reduce a full :class:`TrialResult` to its sweep-facing summary."""
+    convicted = result.convicted_addresses
+    return TrialSummary(
+        seed=config.seed,
+        attack=result.attack,
+        attacker_cluster=result.attacker_cluster,
+        policy_name=result.policy_name,
+        detected=result.detected,
+        false_positive=result.false_positive,
+        attack_impeded=result.attack_impeded,
+        detection_packets=result.detection_packets,
+        convicted_attackers=len(convicted & result.attacker_addresses),
+        convicted_honest=len(convicted & result.honest_addresses),
+    )
+
+
+# ----------------------------------------------------------------------
+# Content-addressed cache keys
+# ----------------------------------------------------------------------
+def _canonical(value) -> object:
+    """JSON-encodable canonical form of a config fragment."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, float):
+        return repr(value)  # repr round-trips; str() may lose precision
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return repr(value)  # opaque policy objects: best-effort stable form
+
+
+def trial_cache_key(config: TrialConfig) -> str:
+    """Stable content hash of one trial's full configuration + seed.
+
+    Observability switches are excluded: they do not alter the
+    simulation outcome, and summaries never carry their payloads.
+    """
+    payload = _canonical(config)
+    for obs_only in ("metrics", "trace", "profile"):
+        payload.pop(obs_only, None)
+    payload["schema"] = CACHE_SCHEMA
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Append-only JSONL store of trial summaries, sharded by key prefix.
+
+    One line per result: ``{"k": <sha256>, "s": <schema>, "r": {...}}``.
+    The loader is deliberately forgiving — a truncated or corrupt line
+    (killed run, concurrent writer, disk hiccup) is *skipped and
+    recomputed*, never fatal; the later re-append repairs the file.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.corrupt_lines = 0
+        self._entries: dict[str, TrialSummary] = {}
+        self._load()
+
+    def _shard_path(self, key: str) -> Path:
+        return self.directory / f"trials-{key[0]}.jsonl"
+
+    def _load(self) -> None:
+        for path in sorted(self.directory.glob("trials-*.jsonl")):
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record.get("s") != CACHE_SCHEMA:
+                        continue
+                    self._entries[record["k"]] = TrialSummary.from_dict(
+                        record["r"]
+                    )
+                except (ValueError, KeyError, TypeError):
+                    self.corrupt_lines += 1  # skipped, recomputed, re-appended
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> TrialSummary | None:
+        return self._entries.get(key)
+
+    def put(self, key: str, summary: TrialSummary) -> None:
+        if key in self._entries:
+            return
+        self._entries[key] = summary
+        record = {"k": key, "s": CACHE_SCHEMA, "r": summary.to_dict()}
+        with self._shard_path(key).open("a") as sink:
+            sink.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Worker-side entry points (module-level so they pickle by reference)
+# ----------------------------------------------------------------------
+def _worker_warmup() -> None:
+    """Pre-import the trial machinery and touch the Table I config so a
+    worker's first unit does not pay setup cost."""
+    from repro.experiments.config import TableIConfig
+    from repro.experiments import trial, world  # noqa: F401
+
+    TableIConfig().make_highway()
+
+
+def _run_trial_chunk(items):
+    """Run ``[(index, TrialConfig), ...]``; returns worker accounting."""
+    from repro.experiments.trial import run_trial
+
+    started = time.perf_counter()
+    out = []
+    for index, config in items:
+        out.append((index, summarize_trial(config, run_trial(config))))
+    return os.getpid(), time.perf_counter() - started, out
+
+
+def _run_call_chunk(items):
+    """Run ``[(index, fn, args), ...]`` generic module-level callables."""
+    started = time.perf_counter()
+    out = []
+    for index, fn, args in items:
+        out.append((index, fn(*args)))
+    return os.getpid(), time.perf_counter() - started, out
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutorStats:
+    """Accounting for one executor's lifetime (all batches)."""
+
+    trials: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    chunks: int = 0
+    chunk_retries: int = 0
+    inline_fallbacks: int = 0
+    wall_seconds: float = 0.0
+    #: pid -> busy seconds, for the per-worker utilization gauge
+    worker_busy: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def trials_per_sec(self) -> float:
+        return self.trials / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def utilization(self) -> dict[int, float]:
+        """Per-worker busy fraction of the executor's total wall time."""
+        if self.wall_seconds <= 0:
+            return {}
+        return {
+            pid: busy / self.wall_seconds
+            for pid, busy in sorted(self.worker_busy.items())
+        }
+
+    def format(self) -> str:
+        parts = [
+            f"{self.trials} units in {self.wall_seconds:.2f}s "
+            f"({self.trials_per_sec:.1f}/s)",
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss",
+        ]
+        if self.chunk_retries:
+            parts.append(f"{self.chunk_retries} chunk retries")
+        if self.inline_fallbacks:
+            parts.append(f"{self.inline_fallbacks} in-process fallbacks")
+        if self.worker_busy:
+            busiest = ", ".join(
+                f"pid {pid}: {fraction:.0%}"
+                for pid, fraction in self.utilization().items()
+            )
+            parts.append(f"worker utilization {busiest}")
+        return "; ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class TrialExecutor:
+    """Deterministic fan-out of independent experiment work units.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (default) runs everything in the
+        calling process — the reference path the parallel path must
+        match byte-for-byte.
+    cache_dir:
+        Optional directory for the content-addressed result cache.
+        Applies to seeded trials (:meth:`run_trials`); generic calls
+        (:meth:`map_calls`) are never cached.
+    chunk_size:
+        Units per pool submission; ``0`` picks ``ceil(n / (jobs * 4))``
+        so each worker sees ~4 chunks (pickling amortised, tail balanced).
+    retries:
+        How many times a failed chunk is re-submitted to a fresh pool
+        before in-process fallback.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; the executor then
+        maintains ``exec.*`` counters and per-worker utilization gauges.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        cache_dir: str | Path | None = None,
+        chunk_size: int = 0,
+        retries: int = 1,
+        metrics=None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size < 0 or retries < 0:
+            raise ValueError("chunk_size and retries must be non-negative")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.retries = retries
+        self.metrics = metrics
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.stats = ExecutorStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run_trials(self, configs: Sequence[TrialConfig]) -> list[TrialSummary]:
+        """Run seeded trials; results in submission order, cache applied."""
+        started = time.perf_counter()
+        results: list[TrialSummary | None] = [None] * len(configs)
+        pending: list[tuple[int, TrialConfig]] = []
+        for index, config in enumerate(configs):
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.get(trial_cache_key(config))
+            if cached is not None:
+                results[index] = cached
+                self.stats.cache_hits += 1
+            else:
+                pending.append((index, config))
+                if self.cache is not None:
+                    self.stats.cache_misses += 1
+        for index, summary in self._execute(pending, _run_trial_chunk):
+            results[index] = summary
+            if self.cache is not None:
+                self.cache.put(trial_cache_key(configs[index]), summary)
+        self._account(len(configs), time.perf_counter() - started)
+        return results  # type: ignore[return-value]
+
+    def map_calls(
+        self, calls: Sequence[tuple[Callable, tuple]]
+    ) -> list:
+        """Fan out generic ``(module-level fn, args)`` work units.
+
+        Used by the bespoke drivers (Figure 5 scenarios, ablation
+        sweeps, PDR cells) whose units are not seeded ``TrialConfig``
+        trials.  Results come back in submission order; no caching.
+        """
+        started = time.perf_counter()
+        items = [(index, fn, args) for index, (fn, args) in enumerate(calls)]
+        results: list = [None] * len(calls)
+        for index, value in self._execute(items, _run_call_chunk):
+            results[index] = value
+        self._account(len(calls), time.perf_counter() - started)
+        return results
+
+    def map(self, fn: Callable, argtuples: Sequence[tuple]) -> list:
+        """Convenience: :meth:`map_calls` with one function."""
+        return self.map_calls([(fn, args) for args in argtuples])
+
+    # ------------------------------------------------------------------
+    # Engine
+    # ------------------------------------------------------------------
+    def _execute(self, items: list, chunk_runner: Callable) -> list:
+        """Run work items, parallel when configured; returns the
+        concatenated per-item results (order handled by callers via the
+        embedded indices)."""
+        if not items:
+            return []
+        if self.jobs == 1 or len(items) == 1:
+            return self._run_inline(items, chunk_runner, fallback=False)
+        chunks = self._chunk(items)
+        self.stats.chunks += len(chunks)
+        out: list = []
+        pending = chunks
+        for attempt in range(self.retries + 1):
+            if not pending:
+                break
+            if attempt > 0:
+                self.stats.chunk_retries += len(pending)
+            pending = self._run_pool(pending, chunk_runner, out)
+        for chunk in pending:  # exhausted retries: surface errors inline
+            self.stats.inline_fallbacks += 1
+            out.extend(self._run_inline(chunk, chunk_runner, fallback=True))
+        return out
+
+    def _chunk(self, items: list) -> list[list]:
+        size = self.chunk_size
+        if size <= 0:
+            size = max(1, -(-len(items) // (self.jobs * 4)))
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    def _run_pool(
+        self, chunks: list[list], chunk_runner: Callable, out: list
+    ) -> list[list]:
+        """One pool generation; returns the chunks that failed."""
+        failed: list[list] = []
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=_pool_context(),
+            initializer=_worker_warmup,
+        ) as pool:
+            futures = {
+                pool.submit(chunk_runner, chunk): chunk for chunk in chunks
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    pid, busy, chunk_out = future.result()
+                except Exception:
+                    # Worker crash (BrokenProcessPool) or task error:
+                    # both retry, then fall back in-process where a real
+                    # exception reproduces with a usable traceback.
+                    failed.append(chunk)
+                else:
+                    previous = self.stats.worker_busy.get(pid, 0.0)
+                    self.stats.worker_busy[pid] = previous + busy
+                    out.extend(chunk_out)
+        return failed
+
+    def _run_inline(
+        self, items: list, chunk_runner: Callable, *, fallback: bool
+    ) -> list:
+        pid, busy, out = chunk_runner(items)
+        if not fallback:
+            # In-process runs still feed the utilization ledger so
+            # ``jobs=1`` stats read sensibly (one worker, ~100% busy).
+            previous = self.stats.worker_busy.get(pid, 0.0)
+            self.stats.worker_busy[pid] = previous + busy
+        return out
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _account(self, units: int, wall: float) -> None:
+        self.stats.trials += units
+        self.stats.wall_seconds += wall
+        if self.metrics is None:
+            return
+        # Counters mirror the cumulative stats; stats only grow, so the
+        # absolute sync preserves counter monotonicity.
+        self.metrics.counter("exec.units").value = self.stats.trials
+        self.metrics.counter("exec.cache.hits").value = self.stats.cache_hits
+        self.metrics.counter("exec.cache.misses").value = self.stats.cache_misses
+        self.metrics.counter("exec.chunk_retries").value = self.stats.chunk_retries
+        self.metrics.counter("exec.inline_fallbacks").value = (
+            self.stats.inline_fallbacks
+        )
+        self.metrics.gauge("exec.jobs").set(self.jobs)
+        self.metrics.gauge("exec.trials_per_sec").set(self.stats.trials_per_sec)
+        for pid, fraction in self.stats.utilization().items():
+            self.metrics.gauge("exec.worker.utilization", worker=pid).set(
+                fraction
+            )
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap warm start: workers inherit the imported
+    simulator) where available; the default context otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return None

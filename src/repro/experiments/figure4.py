@@ -10,7 +10,6 @@ or renew their pseudonyms mid-detection; FPR stays zero everywhere.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 
 from repro.experiments.config import (
@@ -18,8 +17,9 @@ from repro.experiments.config import (
     ATTACK_SINGLE,
     TableIConfig,
     TrialConfig,
+    point_seed,
 )
-from repro.experiments.trial import run_trial
+from repro.experiments.executor import TrialExecutor, TrialSummary
 from repro.metrics import ConfusionMatrix, wilson_interval
 
 
@@ -42,6 +42,30 @@ class Figure4Row:
     accuracy_high: float = 1.0
 
 
+def accumulate_point(
+    summaries: list[TrialSummary],
+) -> tuple[ConfusionMatrix, int]:
+    """Fold one sweep point's trials into ``(matrix, fp_trials)``.
+
+    Each trial is one classification decision — exactly one matrix
+    entry — keeping the matrix total (and the Wilson interval
+    denominator) equal to the trial count.  Honest-node convictions are
+    tallied *separately* as ``fp_trials``: a trial can both convict the
+    attacker (a true positive on the detection axis) and convict an
+    honest bystander, and folding that second event into the matrix as
+    an extra ``(predicted=True, actual=False)`` entry — as an earlier
+    revision did — inflated the denominator and skewed every rate for
+    the points it touched.
+    """
+    matrix = ConfusionMatrix()
+    fp_trials = 0
+    for summary in summaries:
+        matrix.record(predicted=summary.detected, actual=summary.attack_present)
+        if summary.false_positive:
+            fp_trials += 1
+    return matrix, fp_trials
+
+
 def run_figure4(
     *,
     trials: int = 150,
@@ -49,43 +73,48 @@ def run_figure4(
     clusters: tuple[int, ...] = tuple(range(1, 11)),
     base_seed: int = 1000,
     table: TableIConfig | None = None,
+    parallel: TrialExecutor | None = None,
 ) -> list[Figure4Row]:
-    """Regenerate Figure 4's series.  ``trials=150`` matches the paper."""
+    """Regenerate Figure 4's series.  ``trials=150`` matches the paper.
+
+    ``parallel`` fans the ``attacks × clusters × trials`` independent
+    seeded simulations over a worker pool; results are re-keyed by
+    ``(attack, cluster, seed)``, so rows are byte-identical to the
+    serial run.
+    """
     table = table or TableIConfig()
+    executor = parallel or TrialExecutor()
+    points = [(attack, cluster) for attack in attacks for cluster in clusters]
+    configs = [
+        TrialConfig(
+            seed=point_seed(base_seed, attack, cluster, trial_index),
+            attack=attack,
+            attacker_cluster=cluster,
+            table=table,
+        )
+        for attack, cluster in points
+        for trial_index in range(trials)
+    ]
+    summaries = executor.run_trials(configs)
     rows = []
-    for attack in attacks:
-        for cluster in clusters:
-            matrix = ConfusionMatrix()
-            point_key = zlib.crc32(f"{attack}:{cluster}".encode()) % 100_000
-            for trial_index in range(trials):
-                seed = base_seed + point_key + trial_index
-                result = run_trial(
-                    TrialConfig(
-                        seed=seed,
-                        attack=attack,
-                        attacker_cluster=cluster,
-                        table=table,
-                    )
-                )
-                matrix.record(
-                    predicted=result.detected, actual=result.attack_present
-                )
-                if result.false_positive:
-                    matrix.record(predicted=True, actual=False)
-            interval = wilson_interval(matrix.tp + matrix.tn, matrix.total)
-            rows.append(
-                Figure4Row(
-                    attack=attack,
-                    cluster=cluster,
-                    trials=trials,
-                    accuracy=matrix.accuracy,
-                    true_positive_rate=matrix.true_positive_rate,
-                    false_positive_rate=matrix.false_positive_rate,
-                    false_negative_rate=matrix.false_negative_rate,
-                    accuracy_low=interval.low,
-                    accuracy_high=interval.high,
-                )
+    for point_index, (attack, cluster) in enumerate(points):
+        matrix, fp_trials = accumulate_point(
+            summaries[point_index * trials : (point_index + 1) * trials]
+        )
+        interval = wilson_interval(matrix.tp + matrix.tn, matrix.total)
+        rows.append(
+            Figure4Row(
+                attack=attack,
+                cluster=cluster,
+                trials=trials,
+                accuracy=matrix.accuracy,
+                true_positive_rate=matrix.true_positive_rate,
+                false_positive_rate=fp_trials / trials if trials else 0.0,
+                false_negative_rate=matrix.false_negative_rate,
+                accuracy_low=interval.low,
+                accuracy_high=interval.high,
             )
+        )
     return rows
 
 

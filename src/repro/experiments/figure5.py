@@ -133,11 +133,34 @@ _SCENARIOS = [
 ]
 
 
-def run_figure5() -> list[Figure5Row]:
-    """Measure every Figure 5 scenario; deterministic."""
+def run_figure5_scenario(index: int) -> tuple[int, str]:
+    """Run one scenario from :data:`_SCENARIOS` by position.
+
+    Module-level (not the lambdas in the table) so the trial executor
+    can ship the work unit to a worker process by reference.
+    """
+    _attack, _label, runner, _expected = _SCENARIOS[index]
+    return runner()
+
+
+def run_figure5(*, parallel=None) -> list[Figure5Row]:
+    """Measure every Figure 5 scenario; deterministic.
+
+    Each scenario builds its own seeded world, so the eleven runs are
+    independent; ``parallel`` (a
+    :class:`~repro.experiments.executor.TrialExecutor`) fans them out
+    with results re-assembled in table order.
+    """
+    if parallel is not None:
+        measured = parallel.map(
+            run_figure5_scenario, [(i,) for i in range(len(_SCENARIOS))]
+        )
+    else:
+        measured = [run_figure5_scenario(i) for i in range(len(_SCENARIOS))]
     rows = []
-    for attack, label, runner, expected in _SCENARIOS:
-        packets, verdict = runner()
+    for (attack, label, _runner, expected), (packets, verdict) in zip(
+        _SCENARIOS, measured
+    ):
         rows.append(
             Figure5Row(
                 attack=attack,

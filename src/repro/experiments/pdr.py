@@ -185,17 +185,39 @@ def _run_blackdp_watchdog(attack: str, packets: int, seed: int) -> PdrRow:
     )
 
 
+#: defense label -> cell runner; module-level so cells pickle by reference
+_PDR_DEFENSES = {
+    "plain-aodv": _run_plain,
+    "blackdp": _run_blackdp,
+    "blackdp+wd": _run_blackdp_watchdog,
+}
+
+
+def _pdr_cell(defense: str, attack: str, packets: int, seed: int) -> PdrRow:
+    return _PDR_DEFENSES[defense](attack, packets, seed)
+
+
 def run_pdr(
-    packets: int = 40, seed: int = 55, *, include_watchdog: bool = True
+    packets: int = 40,
+    seed: int = 55,
+    *,
+    include_watchdog: bool = True,
+    parallel=None,
 ) -> list[PdrRow]:
-    """PDR for every (attack, defense) combination."""
-    rows = []
+    """PDR for every (attack, defense) combination.
+
+    Each cell streams through its own seeded world; ``parallel`` fans
+    the grid out with rows re-assembled in table order.
+    """
+    cells = []
     for attack in PDR_ATTACKS:
-        rows.append(_run_plain(attack, packets, seed))
-        rows.append(_run_blackdp(attack, packets, seed))
+        cells.append(("plain-aodv", attack, packets, seed))
+        cells.append(("blackdp", attack, packets, seed))
     if include_watchdog:
-        rows.append(_run_blackdp_watchdog("grayhole-stealth", packets, seed))
-    return rows
+        cells.append(("blackdp+wd", "grayhole-stealth", packets, seed))
+    if parallel is not None:
+        return parallel.map(_pdr_cell, cells)
+    return [_pdr_cell(*cell) for cell in cells]
 
 
 def format_pdr(rows: list[PdrRow]) -> str:

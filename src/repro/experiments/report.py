@@ -86,11 +86,16 @@ def congestion_csv(rows) -> str:
     )
 
 
-def generate_report(out_dir: str | Path, *, trials: int = 20) -> ReportResult:
+def generate_report(
+    out_dir: str | Path, *, trials: int = 20, parallel=None
+) -> ReportResult:
     """Run everything and write ``report.md`` plus CSVs into ``out_dir``.
 
     ``trials`` scales Figure 4 (the paper used 150); everything else is
-    deterministic.
+    deterministic.  ``parallel`` (a
+    :class:`~repro.experiments.executor.TrialExecutor`) fans the
+    independent trials of every section out over worker processes; the
+    report text is identical either way.
     """
     from repro.experiments.congestion import format_congestion, run_congestion_sweep
     from repro.experiments.figure4 import (
@@ -121,7 +126,7 @@ def generate_report(out_dir: str | Path, *, trials: int = 20) -> ReportResult:
     sections: list[str] = ["# BlackDP reproduction report", ""]
 
     # Figure 4 --------------------------------------------------------
-    fig4 = run_figure4(trials=trials)
+    fig4 = run_figure4(trials=trials, parallel=parallel)
     failures.extend(check_expected_shape(fig4))
     save_csv("figure4.csv", figure4_csv(fig4))
     sections += [
@@ -130,7 +135,7 @@ def generate_report(out_dir: str | Path, *, trials: int = 20) -> ReportResult:
     ]
 
     # Figure 5 --------------------------------------------------------
-    fig5 = run_figure5()
+    fig5 = run_figure5(parallel=parallel)
     for row in fig5:
         if not row.matches_paper:
             failures.append(
@@ -142,9 +147,9 @@ def generate_report(out_dir: str | Path, *, trials: int = 20) -> ReportResult:
                  format_figure5(fig5), "```", ""]
 
     # Ablations -------------------------------------------------------
-    comparison = run_baseline_comparison()
+    comparison = run_baseline_comparison(parallel=parallel)
     probe = run_probe_ablation()
-    congestion = run_congestion_sweep()
+    congestion = run_congestion_sweep(parallel=parallel)
     save_csv("congestion.csv", congestion_csv(congestion))
     if probe.blackdp_false_positives:
         failures.append("probe ablation: BlackDP produced false positives")
@@ -175,7 +180,7 @@ def generate_report(out_dir: str | Path, *, trials: int = 20) -> ReportResult:
         ]
 
     # PDR + urban -----------------------------------------------------
-    pdr = run_pdr()
+    pdr = run_pdr(parallel=parallel)
     save_csv("pdr.csv", pdr_csv(pdr))
     urban = run_urban_trial()
     if not urban.detected or urban.false_positive:
@@ -185,6 +190,9 @@ def generate_report(out_dir: str | Path, *, trials: int = 20) -> ReportResult:
         f"urban: detected={urban.detected} fp={urban.false_positive} "
         f"packets={urban.packets}", "```", "",
     ]
+
+    if parallel is not None:
+        sections += ["## Execution", "```", parallel.stats.format(), "```", ""]
 
     verdict = "PASS" if not failures else "FAIL"
     sections += [f"## Verdict: {verdict}", ""]

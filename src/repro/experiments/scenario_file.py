@@ -31,7 +31,8 @@ from pathlib import Path
 from repro.attacks.policy import AttackerPolicy
 from repro.core.config import BlackDpConfig
 from repro.experiments.config import ATTACK_TYPES, TableIConfig, TrialConfig
-from repro.experiments.trial import TrialResult, run_trial
+from repro.experiments.executor import TrialExecutor, TrialSummary, summarize_trial
+from repro.experiments.trial import run_trial
 from repro.metrics import wilson_interval
 
 _POLICY_PRESETS = {
@@ -75,7 +76,7 @@ class ScenarioOutcome:
     """Aggregated results of one scenario run."""
 
     scenario: Scenario
-    results: list[TrialResult] = field(default_factory=list)
+    results: list[TrialSummary] = field(default_factory=list)
 
     @property
     def detected(self) -> int:
@@ -185,9 +186,15 @@ def load_scenario(path: str | Path) -> Scenario:
     return parse_scenario(payload)
 
 
-def run_scenario(scenario: Scenario) -> ScenarioOutcome:
-    """Execute every trial of a scenario."""
-    outcome = ScenarioOutcome(scenario)
-    for index in range(scenario.trials):
-        outcome.results.append(run_trial(scenario.trial_config(index)))
-    return outcome
+def run_scenario(
+    scenario: Scenario, *, parallel: TrialExecutor | None = None
+) -> ScenarioOutcome:
+    """Execute every trial of a scenario, optionally through an executor."""
+    configs = [scenario.trial_config(index) for index in range(scenario.trials)]
+    if parallel is not None:
+        summaries = parallel.run_trials(configs)
+    else:
+        summaries = [
+            summarize_trial(config, run_trial(config)) for config in configs
+        ]
+    return ScenarioOutcome(scenario, results=summaries)

@@ -76,16 +76,13 @@ def _sn_baselines(replies) -> dict[str, bool]:
     }
 
 
-def run_baseline_comparison() -> list[ComparisonRow]:
-    """Four scenarios; returns who detected what."""
-    rows = []
-
-    # 1. Multi-replier single attack: everyone's easy case.  The honest
-    #    replier is two hops out, so the attacker's instant fake RREP
-    #    arrives first — the ordering Jaiswal's comparison assumes.
+def _compare_multi_replier() -> ComparisonRow:
+    """Multi-replier single attack: everyone's easy case.  The honest
+    replier is two hops out, so the attacker's instant fake RREP arrives
+    first — the ordering Jaiswal's comparison assumes."""
     world = build_world(seed=11)
     source = world.add_vehicle("src", x=100.0)
-    relay = world.add_vehicle("relay", x=900.0)
+    world.add_vehicle("relay", x=900.0)
     honest_mid = world.add_vehicle("mid", x=1700.0)
     dest = world.add_vehicle("dst", x=2400.0)
     world.sim.run(until=0.5)
@@ -97,11 +94,13 @@ def run_baseline_comparison() -> list[ComparisonRow]:
     replies = _collect_replies(world, source, dest.address)
     detected = _sn_baselines(replies)
     detected["blackdp"] = _blackdp_detects(world, source, attacker)
-    rows.append(ComparisonRow("multi-replier", detected))
+    return ComparisonRow("multi-replier", detected)
 
-    # 2. Single-replier: the attacker is the only node that answers (the
-    #    destination has left the highway) — the comparison method has
-    #    nothing to compare against.
+
+def _compare_single_replier() -> ComparisonRow:
+    """Single-replier: the attacker is the only node that answers (the
+    destination has left the highway) — the comparison method has
+    nothing to compare against."""
     world = build_world(seed=12)
     source = world.add_vehicle("src", x=100.0)
     attacker = world.add_attacker(
@@ -111,11 +110,13 @@ def run_baseline_comparison() -> list[ComparisonRow]:
     replies = _collect_replies(world, source, "pid-departed-destination")
     detected = _sn_baselines(replies)
     detected["blackdp"] = _blackdp_detects(world, source, attacker)
-    rows.append(ComparisonRow("single-replier", detected))
+    return ComparisonRow("single-replier", detected)
 
-    # 3. Modest attacker: the network has aged (legitimate sequence
-    #    numbers around 30) and the attacker bids just above them —
-    #    under every threshold, under the outlier ratio.
+
+def _compare_modest_seq() -> ComparisonRow:
+    """Modest attacker: the network has aged (legitimate sequence numbers
+    around 30) and the attacker bids just above them — under every
+    threshold, under the outlier ratio."""
     world = build_world(seed=13)
     source = world.add_vehicle("src", x=100.0)
     attacker = world.add_attacker(
@@ -127,9 +128,11 @@ def run_baseline_comparison() -> list[ComparisonRow]:
     replies = _collect_replies(world, source, destination.address)
     detected = _sn_baselines(replies)
     detected["blackdp"] = _blackdp_detects(world, source, attacker)
-    rows.append(ComparisonRow("modest-seq", detected))
+    return ComparisonRow("modest-seq", detected)
 
-    # 4. Cooperative: catching the *teammate* needs behavioural probing.
+
+def _compare_cooperative_teammate() -> ComparisonRow:
+    """Cooperative: catching the *teammate* needs behavioural probing."""
     world = build_world(seed=14)
     source = world.add_vehicle("src", x=100.0)
     primary, teammate = world.add_cooperative_pair(900.0, 1400.0)
@@ -145,8 +148,25 @@ def run_baseline_comparison() -> list[ComparisonRow]:
         detected["blackdp(teammate)"] = any(
             teammate.address in r.cooperative_with for r in world.all_records()
         )
-    rows.append(ComparisonRow("cooperative-teammate", detected))
-    return rows
+    return ComparisonRow("cooperative-teammate", detected)
+
+
+#: The four structural scenarios, in report order.  Module-level
+#: functions so the executor can ship them to worker processes.
+_COMPARISON_SCENARIOS = (
+    _compare_multi_replier,
+    _compare_single_replier,
+    _compare_modest_seq,
+    _compare_cooperative_teammate,
+)
+
+
+def run_baseline_comparison(*, parallel=None) -> list[ComparisonRow]:
+    """Four scenarios; returns who detected what.  Each scenario owns a
+    seeded world, so ``parallel`` may run them in worker processes."""
+    if parallel is not None:
+        return parallel.map_calls([(fn, ()) for fn in _COMPARISON_SCENARIOS])
+    return [fn() for fn in _COMPARISON_SCENARIOS]
 
 
 def format_comparison(rows: list[ComparisonRow]) -> str:
@@ -311,60 +331,66 @@ _BLACKDP_KINDS = (
 )
 
 
+def _overhead_point(count: int, seed: int) -> OverheadRow:
+    """One density point: a seeded world, one detection, byte deltas."""
+    from repro.net import ChannelConfig
+
+    world = build_world(seed=seed, channel=ChannelConfig(account_bytes=True))
+    world.populate(count)
+    reporter = world.add_vehicle("rep", x=2200.0)
+    attacker = world.add_attacker("bh", x=2700.0)
+    world.sim.run(until=0.5)
+    before_kind = dict(world.net.stats.bytes_by_kind)
+    before_total = world.net.stats.bytes_sent
+    start = world.sim.now
+    reporter.send(
+        DetectionRequest(
+            src=reporter.address,
+            dst=reporter.current_ch,
+            reporter=reporter.address,
+            reporter_cluster=reporter.current_cluster,
+            suspect=attacker.address,
+            suspect_cluster=3,
+            suspect_certificate=attacker.certificate,
+        )
+    )
+    world.sim.run(until=start + 30.0)
+    records = world.service_for_cluster(3).records
+    if not records:
+        raise RuntimeError(f"no detection completed at density {count}")
+    record = records[0]
+    blackdp_bytes = sum(
+        world.net.stats.bytes_by_kind[kind] - before_kind.get(kind, 0)
+        for kind in _BLACKDP_KINDS
+    )
+    total_bytes = world.net.stats.bytes_sent - before_total
+    return OverheadRow(
+        vehicles=count,
+        detection_latency=record.finished_at - start,
+        detection_packets=record.packets,
+        blackdp_bytes=blackdp_bytes,
+        ambient_bytes=total_bytes - blackdp_bytes,
+    )
+
+
 def run_overhead_sweep(
-    densities: tuple[int, ...] = (25, 50, 100, 200), seed: int = 31
+    densities: tuple[int, ...] = (25, 50, 100, 200),
+    seed: int = 31,
+    *,
+    parallel=None,
 ) -> list[OverheadRow]:
     """Single-attacker detection cost as vehicle density grows.
 
     Byte figures are wire-accurate (binary codec sizes): ``blackdp_bytes``
     counts only BlackDP-specific packet kinds; ``ambient_bytes`` is all
-    other traffic (joins, floods, beacons) in the same window.
+    other traffic (joins, floods, beacons) in the same window.  Density
+    points are independent seeded worlds, so ``parallel`` fans them out.
     """
-    from repro.net import ChannelConfig
-
-    rows = []
-    for count in densities:
-        world = build_world(
-            seed=seed, channel=ChannelConfig(account_bytes=True)
+    if parallel is not None:
+        return parallel.map(
+            _overhead_point, [(count, seed) for count in densities]
         )
-        world.populate(count)
-        reporter = world.add_vehicle("rep", x=2200.0)
-        attacker = world.add_attacker("bh", x=2700.0)
-        world.sim.run(until=0.5)
-        before_kind = dict(world.net.stats.bytes_by_kind)
-        before_total = world.net.stats.bytes_sent
-        start = world.sim.now
-        reporter.send(
-            DetectionRequest(
-                src=reporter.address,
-                dst=reporter.current_ch,
-                reporter=reporter.address,
-                reporter_cluster=reporter.current_cluster,
-                suspect=attacker.address,
-                suspect_cluster=3,
-                suspect_certificate=attacker.certificate,
-            )
-        )
-        world.sim.run(until=start + 30.0)
-        records = world.service_for_cluster(3).records
-        if not records:
-            raise RuntimeError(f"no detection completed at density {count}")
-        record = records[0]
-        blackdp_bytes = sum(
-            world.net.stats.bytes_by_kind[kind] - before_kind.get(kind, 0)
-            for kind in _BLACKDP_KINDS
-        )
-        total_bytes = world.net.stats.bytes_sent - before_total
-        rows.append(
-            OverheadRow(
-                vehicles=count,
-                detection_latency=record.finished_at - start,
-                detection_packets=record.packets,
-                blackdp_bytes=blackdp_bytes,
-                ambient_bytes=total_bytes - blackdp_bytes,
-            )
-        )
-    return rows
+    return [_overhead_point(count, seed) for count in densities]
 
 
 def format_overhead(rows: list[OverheadRow]) -> str:

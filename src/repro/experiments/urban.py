@@ -178,8 +178,36 @@ class UrbanDensityRow:
     false_positive: bool
 
 
+def _density_point(spacing: int, seed: int) -> UrbanDensityRow:
+    """One RSU-density point (module-level so the executor can ship it)."""
+    world = build_urban_world(seed=seed, rsu_spacing=spacing)
+    grid = world.grid
+    # Coverage fraction sampled over a street lattice.
+    samples = [
+        (x * grid.block_length / 4.0, y * grid.block_length / 4.0)
+        for x in range(4 * grid.blocks_x + 1)
+        for y in range(4 * grid.blocks_y + 1)
+        if grid.is_on_street(
+            (x * grid.block_length / 4.0, y * grid.block_length / 4.0),
+            tolerance=1.0,
+        )
+    ]
+    covered = sum(
+        1 for point in samples if world.coverage.cluster_at(point) is not None
+    )
+    result = _run_trial_in(world)
+    return UrbanDensityRow(
+        rsu_spacing=spacing,
+        rsus=len(world.rsus),
+        coverage_fraction=covered / len(samples),
+        attacker_covered=result[0],
+        detected=result[1].detected,
+        false_positive=result[1].false_positive,
+    )
+
+
 def run_urban_density_sweep(
-    spacings: tuple[int, ...] = (1, 2, 4), seed: int = 3
+    spacings: tuple[int, ...] = (1, 2, 4), seed: int = 3, *, parallel=None
 ) -> list[UrbanDensityRow]:
     """Detection success versus RSU deployment density.
 
@@ -188,37 +216,13 @@ def run_urban_density_sweep(
     to no cluster, nobody can receive the ``d_req`` probe it, and the
     attack is only *prevented*, not detected — quantifying how much the
     protocol leans on the paper's "least number of CHs required to cover
-    the entire highway" deployment rule.
+    the entire highway" deployment rule.  Density points are independent
+    seeded worlds; ``parallel`` fans them out in ``spacings`` order.
     """
-    rows = []
-    for spacing in spacings:
-        world = build_urban_world(seed=seed, rsu_spacing=spacing)
-        grid = world.grid
-        # Coverage fraction sampled over a street lattice.
-        samples = [
-            (x * grid.block_length / 4.0, y * grid.block_length / 4.0)
-            for x in range(4 * grid.blocks_x + 1)
-            for y in range(4 * grid.blocks_y + 1)
-            if grid.is_on_street(
-                (x * grid.block_length / 4.0, y * grid.block_length / 4.0),
-                tolerance=1.0,
-            )
-        ]
-        covered = sum(
-            1 for point in samples if world.coverage.cluster_at(point) is not None
-        )
-        result = _run_trial_in(world)
-        rows.append(
-            UrbanDensityRow(
-                rsu_spacing=spacing,
-                rsus=len(world.rsus),
-                coverage_fraction=covered / len(samples),
-                attacker_covered=result[0],
-                detected=result[1].detected,
-                false_positive=result[1].false_positive,
-            )
-        )
-    return rows
+    points = [(spacing, seed) for spacing in spacings]
+    if parallel is not None:
+        return parallel.map(_density_point, points)
+    return [_density_point(*point) for point in points]
 
 
 def format_urban_density(rows: list[UrbanDensityRow]) -> str:

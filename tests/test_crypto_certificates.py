@@ -10,7 +10,9 @@ from repro.crypto import (
     CertificateError,
     RevocationEntry,
     RevocationList,
+    SignatureCache,
     TrustedAuthorityNetwork,
+    signature_cache,
 )
 
 
@@ -151,3 +153,92 @@ def test_prune_never_leaves_expired_entries(expiries, now):
         crl.add(RevocationEntry(f"id-{i}", serial=i, expires_at=expiry))
     crl.prune_expired(now)
     assert all(entry.expires_at > now for entry in crl)
+
+
+# ----------------------------------------------------------------------
+# Memoized signature verification
+# ----------------------------------------------------------------------
+def test_signature_cache_hits_on_repeat_verification():
+    net, ta = make_network()
+    cert = ta.enroll("car-1", now=0.0).certificate
+    signature_cache.clear()
+    assert cert.verify_with(net.public_key, now=1.0)
+    assert signature_cache.misses == 1
+    for _ in range(5):
+        assert cert.verify_with(net.public_key, now=1.0)
+    assert signature_cache.hits == 5
+    assert signature_cache.misses == 1
+
+
+def test_forged_signature_fails_on_warm_cache():
+    import dataclasses
+
+    net, ta = make_network()
+    cert = ta.enroll("car-1", now=0.0).certificate
+    signature_cache.clear()
+    assert cert.verify_with(net.public_key, now=1.0)  # warm the memo
+    forged = dataclasses.replace(cert, signature=b"\x00" * 32)
+    assert not forged.verify_with(net.public_key, now=1.0)
+    truncated = dataclasses.replace(cert, signature=cert.signature[:-1])
+    assert not truncated.verify_with(net.public_key, now=1.0)
+    # The forged payload equals the genuine one, so the warm entry was
+    # consulted — and the constant-time compare still rejected it.
+    assert signature_cache.hits >= 1
+
+
+def test_revocation_invalidates_cached_signature():
+    net, ta = make_network()
+    enrolment = ta.enroll("attacker", now=0.0)
+    cert = enrolment.certificate
+    signature_cache.clear()
+    assert cert.verify_with(net.public_key, now=1.0)
+    assert len(signature_cache) == 1
+    ta.revoke(cert)
+    assert signature_cache.invalidations == 1
+    assert len(signature_cache) == 0
+    # Post-revocation verification recomputes from first principles and
+    # still reflects signature validity (revocation lives in the CRL).
+    assert cert.verify_with(net.public_key, now=1.0)
+    assert signature_cache.misses == 2
+
+
+def test_signature_cache_disabled_still_verifies():
+    net, ta = make_network()
+    cert = ta.enroll("car-1", now=0.0).certificate
+    cache = SignatureCache()
+    cache.enabled = False
+    assert cache.verify(net.public_key, cert.signed_payload(), cert.signature)
+    assert not cache.verify(net.public_key, cert.signed_payload(), b"\x00" * 32)
+    assert cache.hits == cache.misses == 0
+    assert len(cache) == 0
+
+
+def test_signature_cache_lru_eviction():
+    net, ta = make_network()
+    cache = SignatureCache(maxsize=2)
+    certs = [ta.enroll(f"car-{i}", now=0.0).certificate for i in range(3)]
+    for cert in certs:
+        assert cache.verify(net.public_key, cert.signed_payload(), cert.signature)
+    assert len(cache) == 2  # oldest entry evicted
+    assert cache.verify(
+        net.public_key, certs[0].signed_payload(), certs[0].signature
+    )
+    assert cache.misses == 4  # the evicted entry recomputed
+
+
+def test_signed_payload_memo_matches_recomputation():
+    from repro.crypto.certificates import certificate_payload
+
+    net, ta = make_network()
+    cert = ta.enroll("car-1", now=0.0).certificate
+    first = cert.signed_payload()
+    assert cert.signed_payload() is first  # per-instance memo
+    assert first == certificate_payload(
+        cert.subject_id,
+        cert.public_key,
+        cert.serial,
+        cert.issued_at,
+        cert.expires_at,
+        cert.issuer_id,
+        cert.role,
+    )
