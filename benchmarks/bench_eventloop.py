@@ -1,0 +1,275 @@
+"""Event-loop throughput: slotted events, timer wheel, batched broadcast.
+
+Two measurements, each run under the legacy loop configuration
+(``USE_TIMER_WHEEL = False`` + ``ChannelConfig(batch_broadcast=False)``,
+reproducing the pre-overhaul per-event scheduling) and under the new
+defaults:
+
+- the **Table I trial** (the paper's experimental unit, profiled) —
+  the number every PR since the observability baseline has tracked
+  (``BENCH_obs.json``: ~69k events/sec at PR 3);
+- a **Hello-beacon-heavy 600-vehicle sweep point** with ``jitter=0`` —
+  the broadcast-batching showcase: every beacon's receivers share one
+  arrival time, so the batched loop executes one event per beacon
+  instead of one per receiver.
+
+Because batching changes the raw event count (not the behaviour), the
+sweep point reports an *effective* events/sec: legacy event count
+divided by the new wall time.
+
+Run the full benchmark (writes ``BENCH_eventloop.json`` at the repo
+root)::
+
+    PYTHONPATH=src python benchmarks/bench_eventloop.py
+
+CI smoke mode (small population, asserts the legacy and new runs are
+trace-identical and enforces a wall-clock budget, writes nothing)::
+
+    PYTHONPATH=src python benchmarks/bench_eventloop.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import platform
+import sys
+import time
+from datetime import date
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.net.packets as packets_module  # noqa: E402
+import repro.sim.simulator as simulator_module  # noqa: E402
+from repro.experiments.config import ATTACK_SINGLE, TrialConfig  # noqa: E402
+from repro.experiments.trial import run_trial  # noqa: E402
+from repro.net import ChannelConfig, Network, Node  # noqa: E402
+from repro.routing.protocol import AodvConfig, AodvProtocol  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+
+#: events/sec on the profiled Table I trial recorded at PR 3
+#: (BENCH_obs.json); the acceptance bar for this PR is >= 2x this.
+PR3_BASELINE_EVENTS_PER_SEC = 68_597
+
+#: Table I strip geometry (matches bench_spatial).
+HIGHWAY_LENGTH = 10_000.0
+TRANSMISSION_RANGE = 500.0
+
+
+def _configure(legacy: bool) -> ChannelConfig:
+    """Reset global state and flip the legacy/new loop switches."""
+    packets_module._packet_ids = itertools.count(1)
+    simulator_module.USE_TIMER_WHEEL = not legacy
+    return ChannelConfig(batch_broadcast=not legacy)
+
+
+# ----------------------------------------------------------------------
+# Point 1: the Table I trial, profiled
+# ----------------------------------------------------------------------
+def run_table1(*, legacy: bool, trace: bool = False):
+    channel = _configure(legacy)
+    config = TrialConfig(
+        seed=1, attack=ATTACK_SINGLE, attacker_cluster=4,
+        profile=not trace, trace=trace, channel=channel,
+    )
+    return run_trial(config)
+
+
+def bench_table1(reps: int) -> dict:
+    # interleave the two configurations so CPU-frequency / load drift
+    # hits both equally; best wall time per configuration wins
+    best: dict = {"legacy": None, "new": None}
+    for _ in range(reps):
+        for name, legacy in [("legacy", True), ("new", False)]:
+            profile = run_table1(legacy=legacy).profile
+            if best[name] is None or profile.wall_seconds < best[name].wall_seconds:
+                best[name] = profile
+    point: dict = {}
+    for name in ("legacy", "new"):
+        profile = best[name]
+        point[name] = {
+            "events": profile.events,
+            "wall_seconds": round(profile.wall_seconds, 4),
+            "events_per_sec": int(profile.events_per_sec),
+            "queue_high_water": profile.queue_high_water,
+        }
+    new_rate = point["new"]["events_per_sec"]
+    point["speedup"] = round(
+        point["legacy"]["wall_seconds"] / point["new"]["wall_seconds"], 2
+    )
+    point["pr3_baseline_events_per_sec"] = PR3_BASELINE_EVENTS_PER_SEC
+    point["vs_pr3_baseline"] = round(new_rate / PR3_BASELINE_EVENTS_PER_SEC, 2)
+    return point
+
+
+def assert_table1_equivalence() -> None:
+    """Legacy and new runs must produce byte-identical traces."""
+    new = run_table1(legacy=False, trace=True)
+    old = run_table1(legacy=True, trace=True)
+    new_trace = "\n".join(e.to_json() for e in new.trace_events)
+    old_trace = "\n".join(e.to_json() for e in old.trace_events)
+    if new_trace != old_trace:
+        raise AssertionError("legacy/new Table I traces diverge")
+
+
+# ----------------------------------------------------------------------
+# Point 2: Hello-beacon-heavy sweep point, jitter-free
+# ----------------------------------------------------------------------
+def _build_hello_sim(n: int, *, legacy: bool):
+    channel = _configure(legacy)
+    channel.jitter = 0.0  # beacons arrive in lockstep: batching merges them
+    sim = Simulator(seed=42)
+    net = Network(sim, channel)
+    placement = sim.rng("bench-placement")
+    for i in range(n):
+        node = Node(
+            sim, f"veh-{i}",
+            position=(placement.uniform(0.0, HIGHWAY_LENGTH), 0.0),
+            transmission_range=TRANSMISSION_RANGE,
+        )
+        net.attach(node)
+        AodvProtocol(node, AodvConfig(enable_hello=True, hello_interval=1.0))
+    return sim, net
+
+
+def run_hello_sweep(n: int, sim_seconds: float, *, legacy: bool) -> dict:
+    # timed pass: no profiler, so the wall time is the production path
+    sim, net = _build_hello_sim(n, legacy=legacy)
+    metrics = sim.obs.enable_metrics()
+    started = time.perf_counter()
+    sim.run(until=sim_seconds)
+    wall = time.perf_counter() - started
+    point = {
+        "events": sim.events_executed,
+        "deliveries": net.stats.delivered,
+        "wall_seconds": round(wall, 4),
+        "queue_compactions": metrics.gauge("sim.queue.compactions").value,
+    }
+    # profiled pass: same run again, just to observe the queue high-water
+    sim, _net = _build_hello_sim(n, legacy=legacy)
+    profiler = sim.obs.enable_profiler()
+    sim.run(until=sim_seconds)
+    point["queue_high_water"] = profiler.queue_high_water
+    return point
+
+
+def bench_hello_sweep(n: int, sim_seconds: float) -> dict:
+    legacy = run_hello_sweep(n, sim_seconds, legacy=True)
+    new = run_hello_sweep(n, sim_seconds, legacy=False)
+    if new["deliveries"] != legacy["deliveries"]:
+        raise AssertionError(
+            f"hello sweep divergence at n={n}: {new['deliveries']} vs "
+            f"{legacy['deliveries']} deliveries"
+        )
+    return {
+        "vehicles": n,
+        "sim_seconds": sim_seconds,
+        "legacy": legacy,
+        "new": new,
+        "speedup": round(legacy["wall_seconds"] / new["wall_seconds"], 2),
+        # batching shrinks the event count, not the work: normalise by
+        # the legacy event count so rates stay comparable
+        "effective_events_per_sec": int(
+            legacy["events"] / new["wall_seconds"]
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reps", type=int, default=15,
+        help="Table I repetitions (best wall time wins)",
+    )
+    parser.add_argument(
+        "--vehicles", type=int, default=600,
+        help="population for the Hello-beacon sweep point",
+    )
+    parser.add_argument(
+        "--sim-seconds", type=float, default=30.0,
+        help="simulated duration of the Hello-beacon sweep point",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_eventloop.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: tiny population, equivalence assertions, "
+        "time budget, writes nothing",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=120.0,
+        help="smoke-mode wall-clock budget in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.reps = 2
+        args.vehicles = 100
+        args.sim_seconds = 10.0
+
+    started = time.perf_counter()
+    assert_table1_equivalence()
+    print("equivalence OK: legacy and new Table I traces are byte-identical")
+
+    table1 = bench_table1(args.reps)
+    for name in ("legacy", "new"):
+        point = table1[name]
+        print(
+            f"table1 {name:>6}: {point['events']} events in "
+            f"{point['wall_seconds']:.4f}s = {point['events_per_sec']:,} ev/s "
+            f"(queue high-water {point['queue_high_water']})"
+        )
+    print(
+        f"table1 speedup {table1['speedup']}x; "
+        f"{table1['vs_pr3_baseline']}x vs PR 3 baseline "
+        f"({PR3_BASELINE_EVENTS_PER_SEC:,} ev/s)"
+    )
+
+    hello = bench_hello_sweep(args.vehicles, args.sim_seconds)
+    for name in ("legacy", "new"):
+        point = hello[name]
+        print(
+            f"hello n={hello['vehicles']} {name:>6}: {point['events']} events, "
+            f"{point['deliveries']} deliveries in {point['wall_seconds']:.3f}s"
+        )
+    print(
+        f"hello speedup {hello['speedup']}x "
+        f"(effective {hello['effective_events_per_sec']:,} ev/s)"
+    )
+    total = time.perf_counter() - started
+
+    if args.smoke:
+        if table1["speedup"] < 1.0 and hello["speedup"] < 1.0:
+            print("FAIL: new loop slower than legacy on both points")
+            return 1
+        if total > args.budget:
+            print(f"FAIL: smoke exceeded {args.budget:.0f}s budget")
+            return 1
+        print(f"smoke OK ({total:.1f}s)")
+        return 0
+
+    payload = {
+        "benchmark": (
+            "event-loop overhaul: profiled Table I trial plus a "
+            f"jitter-free Hello-beacon sweep point ({args.vehicles} "
+            "vehicles), legacy loop vs slotted events + timer wheel + "
+            "batched broadcast"
+        ),
+        "recorded": date.today().isoformat(),
+        "python": platform.python_version(),
+        "table1": table1,
+        "hello_sweep": hello,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -346,8 +346,10 @@ class DetectionService:
         self._cancel_timer(case)
         case.timer = self.sim.schedule(
             self.config.probe_timeout,
-            lambda: handler(case),
+            handler,
+            args=(case,),
             label=f"probe-timeout {case.suspect}",
+            wheel=True,
         )
 
     def _cancel_timer(self, case: _ExamCase) -> None:
@@ -387,7 +389,7 @@ class DetectionService:
             case.rrep1_seq = packet.destination_seq
             if case.certificate is None and packet.certificate is not None:
                 case.certificate = packet.certificate
-            self._after_delay(lambda: self._send_probe2(case))
+            self._after_delay(self._send_probe2, case)
         elif case.phase == "probe2" and packet.replied_by == case.suspect:
             self._cancel_timer(case)
             case.ledger.count("RREP_2")
@@ -396,7 +398,7 @@ class DetectionService:
                 # non-existent destination, outbidding our own sequence.
                 case.teammate_claim = packet.next_hop_claim
                 if case.teammate_claim:
-                    self._after_delay(lambda: self._send_teammate_probe(case))
+                    self._after_delay(self._send_teammate_probe, case)
                 else:
                     self._finish(case, VERDICT_BLACK_HOLE)
             else:
@@ -410,11 +412,11 @@ class DetectionService:
             case.teammate_certificate = packet.certificate
             self._finish(case, VERDICT_BLACK_HOLE)
 
-    def _after_delay(self, action) -> None:
+    def _after_delay(self, action, *args) -> None:
         if self.config.inter_probe_delay > 0:
-            self.sim.schedule(self.config.inter_probe_delay, action)
+            self.sim.schedule(self.config.inter_probe_delay, action, args=args)
         else:
-            action()
+            action(*args)
 
     # ------------------------------------------------------------------
     # Probe timeouts

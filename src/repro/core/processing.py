@@ -101,12 +101,11 @@ class RsuProcessor:
         self.stats.processed_locally += 1
         self.stats.max_queue = max(self.stats.max_queue, self._queued)
         self._record_wait(wait)
+        self.sim.schedule(wait, self._complete, args=(action,), label=f"cpu {label}")
 
-        def complete() -> None:
-            self._queued -= 1
-            action()
-
-        self.sim.schedule(wait, complete, label=f"cpu {label}")
+    def _complete(self, action: Callable[[], None]) -> None:
+        self._queued -= 1
+        action()
 
     def _record_wait(self, wait: float) -> None:
         self.stats.total_wait += wait

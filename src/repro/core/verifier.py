@@ -275,8 +275,10 @@ class RouteVerifier:
         self.vehicle.send(hello)
         case.hello_timer = self.vehicle.sim.schedule(
             self.config.hello_timeout,
-            lambda: self._hello_timeout(case),
+            self._hello_timeout,
+            args=(case,),
             label=f"hello-timeout {case.destination}",
+            wheel=True,
         )
 
     def _sign_hello(self, hello: SecureHello) -> None:
@@ -394,8 +396,10 @@ class RouteVerifier:
         self._by_suspect[case.suspect] = case
         case.result_timer = self.vehicle.sim.schedule(
             self.config.result_timeout,
-            lambda: self._result_timeout(case),
+            self._result_timeout,
+            args=(case,),
             label=f"result-timeout {case.suspect}",
+            wheel=True,
         )
 
     def _result_timeout(self, case: _Case) -> None:

@@ -140,8 +140,10 @@ class InfrastructureWatchdog:
         self.ledgers.setdefault(intended, ForwardingLedger()).observed += 1
         self.rsu.sim.schedule(
             self.config.grace,
-            lambda: self._expire(obligation),
+            self._expire,
+            args=(obligation,),
             label="watchdog grace",
+            wheel=True,
         )
 
     def _discharge(self, packet: DataPacket, sender: str) -> None:

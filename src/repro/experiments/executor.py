@@ -49,7 +49,8 @@ from repro.experiments.config import ATTACK_NONE, TrialConfig
 
 #: Bump when the summary fields or the canonical config encoding change;
 #: old cache entries then miss instead of deserialising garbage.
-CACHE_SCHEMA = 1
+#: 2: ChannelConfig gained ``batch_broadcast``.
+CACHE_SCHEMA = 2
 
 #: Shard count for the JSONL cache (single hex digit of the key).
 _CACHE_SHARDS = 16

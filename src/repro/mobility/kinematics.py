@@ -59,6 +59,12 @@ class VehicleMotion:
 
     def __post_init__(self) -> None:
         self._segments.append(_Segment(self.entry_time, self.entry_x, self.speed))
+        # Position memo for the common "many queries at the same instant"
+        # pattern (broadcast fan-out evaluates every candidate once per
+        # transmission).  Keyed by (t, segment count): pure function of
+        # both, so set_speed invalidates it naturally.
+        self._cached_query: tuple[float, int] | None = None
+        self._cached_position: tuple[float, float] = (self.entry_x, self.lane_y)
 
     def _segment_at(self, t: float) -> _Segment:
         if t < self.entry_time:
@@ -80,7 +86,13 @@ class VehicleMotion:
 
     def position(self, t: float) -> tuple[float, float]:
         """Full ``(x, y)`` position at time ``t``."""
-        return (self.x(t), self.lane_y)
+        query = (t, len(self._segments))
+        if query == self._cached_query:
+            return self._cached_position
+        position = (self.x(t), self.lane_y)
+        self._cached_query = query
+        self._cached_position = position
+        return position
 
     def speed_at(self, t: float) -> float:
         """Signed speed in effect at time ``t``."""

@@ -558,9 +558,21 @@ def decode(data: bytes) -> Packet:
     if not reader.done():
         raise CodecError("trailing bytes after packet body")
     packet.size_bytes = len(data)
+    packet._wire_size = len(data)
     return packet
 
 
 def wire_size(packet: Packet) -> int:
-    """True byte size of ``packet`` on the wire."""
-    return len(encode(packet))
+    """True byte size of ``packet`` on the wire.
+
+    Memoised per packet instance: floods retransmit the same object at
+    every hop, and packets are treated as frozen once transmitted, so
+    the first encode's length is cached on the instance (mutating a
+    packet after sending it does not invalidate the cache).  ``decode``
+    seeds the cache with the parsed buffer's length.
+    """
+    cached = getattr(packet, "_wire_size", None)
+    if cached is None:
+        cached = len(encode(packet))
+        packet._wire_size = cached
+    return cached

@@ -9,6 +9,10 @@ Deliveries are scheduled events: a packet sent at *t* arrives at
 *t + per_hop_delay + jitter*.  Reachability is evaluated at send time;
 with millisecond latencies and highway speeds the position drift within
 one hop is millimetres, so this is exact for all practical purposes.
+Broadcast fan-out is batched (``ChannelConfig.batch_broadcast``): all
+receivers sharing an arrival time ride one event carrying the frozen
+receiver list, invoked in exactly the order per-receiver events would
+have fired — see ``docs/performance.md`` for the ordering argument.
 
 The backbone is a :mod:`networkx` graph over RSU addresses; packets
 between connected RSUs take ``wired_hop_delay`` per backbone hop and
@@ -56,7 +60,15 @@ class ChannelConfig:
     account_bytes:
         When True, every transmitted packet is measured through the
         binary wire codec and per-kind byte totals are accumulated in
-        the stats (costs one encode per send; off by default).
+        the stats (one encode per packet *instance* — the size is
+        memoised by :func:`repro.net.codec.wire_size`; off by default).
+    batch_broadcast:
+        When True (default) a broadcast schedules one delivery event
+        per distinct arrival time carrying the frozen receiver list,
+        instead of one event per receiver.  Receivers are invoked in
+        exactly the order the per-receiver events would have fired;
+        the switch exists for A/B benchmarking and the golden-trace
+        equivalence test.
     spatial_index:
         When True (default) neighbour queries and broadcast fan-out are
         served by a uniform-grid :class:`~repro.net.spatial.SpatialIndex`
@@ -78,6 +90,7 @@ class ChannelConfig:
     loss_rate: float = 0.0
     wired_hop_delay: float = 0.001
     account_bytes: bool = False
+    batch_broadcast: bool = True
     spatial_index: bool = True
     spatial_guard_band: float = 50.0
     spatial_max_speed: float = 75.0
@@ -263,6 +276,14 @@ class Network:
     # Radio transmission
     # ------------------------------------------------------------------
     def _account_bytes(self, packet: Packet) -> None:
+        """Accumulate per-kind wire-byte totals.
+
+        ``wire_size`` memoises the encoded length per packet instance,
+        so re-sends (floods forwarding the same object) pay a dict hit
+        instead of a full encode.  Packets are treated as frozen once
+        transmitted — mutating one afterwards does not invalidate the
+        cached size.
+        """
         if not self.config.account_bytes:
             return
         from repro.net.codec import CodecError, wire_size
@@ -292,15 +313,36 @@ class Network:
             return
         # in_range is index-accelerated: far-away monitors are rejected
         # from snapshot cells without a distance computation.
+        sender_address = packet.src or sender.address
+        if self.config.batch_broadcast:
+            callbacks = tuple(
+                callback
+                for monitor, callback in self._monitors
+                if monitor is not sender and self.in_range(sender, monitor)
+            )
+            if callbacks:
+                self.sim.schedule(
+                    self.config.per_hop_delay,
+                    self._overhear_arrive,
+                    args=(callbacks, packet, sender_address),
+                    label=f"overhear {packet.kind}",
+                )
+            return
         for monitor, callback in self._monitors:
             if monitor is sender or not self.in_range(sender, monitor):
                 continue
-            sender_address = packet.src or sender.address
             self.sim.schedule(
                 self.config.per_hop_delay,
-                lambda cb=callback, p=packet, s=sender_address: cb(p, s, p.dst),
+                callback,
+                args=(packet, sender_address, packet.dst),
                 label=f"overhear {packet.kind}",
             )
+
+    def _overhear_arrive(
+        self, callbacks: tuple, packet: Packet, sender_address: str
+    ) -> None:
+        for callback in callbacks:
+            callback(packet, sender_address, packet.dst)
 
     def _observe_drop(self, sender: Node, packet: Packet, cause: str) -> None:
         obs = self.sim.obs
@@ -323,8 +365,12 @@ class Network:
             tap(packet, "air")
         self._overhear(sender, packet)
         if packet.dst == BROADCAST:
-            for receiver in self.neighbors(sender):
-                self._deliver(sender, receiver, packet)
+            receivers = self.neighbors(sender)
+            if self.config.batch_broadcast:
+                self._broadcast_batched(sender, receivers, packet)
+            else:
+                for receiver in receivers:
+                    self._deliver(sender, receiver, packet)
             return
         receiver = self._by_address.get(packet.dst)
         if receiver is None:
@@ -336,6 +382,52 @@ class Network:
             self._observe_drop(sender, packet, "out-of-range")
             return
         self._deliver(sender, receiver, packet)
+
+    def _broadcast_batched(
+        self, sender: Node, receivers: list[Node], packet: Packet
+    ) -> None:
+        """Fan a broadcast out as one event per distinct arrival time.
+
+        Per-receiver loss and jitter draws happen here, at send time, in
+        receiver order — exactly the draws (and RNG stream order) the
+        per-receiver path makes.  Receivers that land on the same delay
+        are frozen into one tuple and invoked in that order by a single
+        event; because the per-receiver path would have scheduled them
+        with consecutive sequence numbers, no foreign event can sort
+        between them, so the merged callback order is identical.
+        """
+        config = self.config
+        rng = self._rng
+        loss_rate = config.loss_rate
+        base_delay = config.per_hop_delay
+        jitter = config.jitter
+        groups: dict[float, list[Node]] = {}
+        for receiver in receivers:
+            if loss_rate and rng.random() < loss_rate:
+                self.stats.dropped_loss += 1
+                self._observe_drop(sender, packet, "loss")
+                continue
+            delay = base_delay + rng.random() * jitter if jitter else base_delay
+            bucket = groups.get(delay)
+            if bucket is None:
+                groups[delay] = [receiver]
+            else:
+                bucket.append(receiver)
+        sender_address = packet.src or sender.address
+        label = f"deliver {packet.kind}"
+        for delay, batch in groups.items():
+            self.sim.schedule(
+                delay,
+                self._arrive_batch,
+                args=(tuple(batch), packet, sender_address),
+                label=label,
+            )
+
+    def _arrive_batch(
+        self, receivers: tuple, packet: Packet, sender_address: str
+    ) -> None:
+        for receiver in receivers:
+            self._arrive(receiver, packet, sender_address)
 
     def _deliver(self, sender: Node, receiver: Node, packet: Packet) -> None:
         if self.config.loss_rate and self._rng.random() < self.config.loss_rate:
@@ -349,19 +441,24 @@ class Network:
         # transmitting under an alias (disposable identity) is seen as
         # that alias by the receiver, not as its primary address.
         sender_address = packet.src or sender.address
+        self.sim.schedule(
+            delay,
+            self._arrive,
+            args=(receiver, packet, sender_address),
+            label=f"deliver {packet.kind}",
+        )
 
-        def arrive() -> None:
-            # The receiver may have left or re-addressed mid-flight.
-            if receiver.network is self:
-                self.stats.delivered += 1
-                obs = self.sim.obs
-                if obs.metrics is not None:
-                    obs.metrics.counter("net.delivered", kind=packet.kind).inc()
-                if obs.trace is not None:
-                    obs.trace.emit(receiver.node_id, "net.deliver", packet)
-                receiver.on_receive(packet, sender_address)
-
-        self.sim.schedule(delay, arrive, label=f"deliver {packet.kind}")
+    def _arrive(self, receiver: Node, packet: Packet, sender_address: str) -> None:
+        # The receiver may have left or re-addressed mid-flight.
+        if receiver.network is not self:
+            return
+        self.stats.delivered += 1
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("net.delivered", kind=packet.kind).inc()
+        if obs.trace is not None:
+            obs.trace.emit(receiver.node_id, "net.deliver", packet)
+        receiver.on_receive(packet, sender_address)
 
     # ------------------------------------------------------------------
     # Wired backbone
@@ -406,19 +503,23 @@ class Network:
         for tap in self.taps:
             tap(packet, "wire")
         delay = max(1, hops) * self.config.wired_hop_delay
-        sender_address = sender.address
-
-        def arrive() -> None:
-            if receiver.network is self:
-                self.stats.backbone_delivered += 1
-                obs = self.sim.obs
-                if obs.metrics is not None:
-                    obs.metrics.counter(
-                        "net.backbone_delivered", kind=packet.kind
-                    ).inc()
-                if obs.trace is not None:
-                    obs.trace.emit(receiver.node_id, "net.backbone_deliver", packet)
-                receiver.on_receive(packet, sender_address)
-
-        self.sim.schedule(delay, arrive, label=f"backbone {packet.kind}")
+        self.sim.schedule(
+            delay,
+            self._arrive_backbone,
+            args=(receiver, packet, sender.address),
+            label=f"backbone {packet.kind}",
+        )
         return True
+
+    def _arrive_backbone(
+        self, receiver: Node, packet: Packet, sender_address: str
+    ) -> None:
+        if receiver.network is not self:
+            return
+        self.stats.backbone_delivered += 1
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter("net.backbone_delivered", kind=packet.kind).inc()
+        if obs.trace is not None:
+            obs.trace.emit(receiver.node_id, "net.backbone_deliver", packet)
+        receiver.on_receive(packet, sender_address)

@@ -270,8 +270,10 @@ class AodvProtocol:
         self.node.send(rreq)
         state.timer_event = self.sim.schedule(
             self.config.discovery_timeout,
-            lambda: self._discovery_window_closed(state),
+            self._discovery_window_closed,
+            args=(state,),
             label=f"discovery {state.destination}",
+            wheel=True,
         )
 
     def _discovery_window_closed(self, state: _Discovery) -> None:

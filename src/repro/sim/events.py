@@ -5,14 +5,36 @@ is assigned on insertion, which makes the execution order of same-time,
 same-priority events identical to their scheduling order.  Determinism of
 this ordering is what makes every experiment in the reproduction
 repeatable from a seed.
+
+Three implementation choices keep the hot path fast without changing
+that contract:
+
+- the heap stores plain ``(time, priority, sequence, event)`` tuples, so
+  ``heapq`` sift comparisons resolve on the first differing number at C
+  speed and never call back into :class:`Event` (sequence numbers are
+  unique, so the trailing event object is never compared);
+- :class:`Event` is a ``__slots__`` class carrying an ``args`` tuple, so
+  callers can schedule bound methods with arguments instead of
+  allocating a capture-closure per packet;
+- timer-class work pushed with ``wheel=True`` is filed in a hierarchical
+  :class:`~repro.sim.wheel.TimerWheel` and only migrates into the heap
+  when the loop approaches its slot.  Wheel entries draw sequence
+  numbers from the same counter at scheduling time, so the merged
+  execution order is identical to a heap-only queue's.
+
+Cancellation stays lazy (a flag checked when an entry surfaces), but the
+queue now tracks its :attr:`~EventQueue.cancelled_fraction` and compacts
+itself once more than half of the stored entries are corpses, so
+restart-heavy timers no longer grow the heap without bound.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable
+
+from repro.sim.wheel import TimerWheel
 
 #: Default priority for ordinary events.
 PRIORITY_NORMAL = 0
@@ -22,8 +44,11 @@ PRIORITY_HIGH = -10
 #: Runs after normal events at the same instant (e.g. bookkeeping).
 PRIORITY_LOW = 10
 
+#: Queues smaller than this never compact — the win would not cover the
+#: rebuild cost.
+_COMPACT_MIN_STORED = 64
 
-@dataclass(order=True)
+
 class Event:
     """A single scheduled callback.
 
@@ -36,20 +61,44 @@ class Event:
     sequence:
         Insertion counter, the final tie-breaker.
     action:
-        Zero-argument callable executed when the event fires.
+        Callable executed as ``action(*args)`` when the event fires.
+    args:
+        Positional arguments for ``action``; lets callers schedule bound
+        methods directly instead of wrapping them in closures.
     label:
         Human-readable description used in error messages and traces.
     cancelled:
-        Cancelled events stay in the heap but are skipped when popped.
+        Cancelled events stay filed but are skipped when they surface.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    action: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    _queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "action",
+        "args",
+        "label",
+        "cancelled",
+        "_queue",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        action: Callable[..., Any],
+        args: tuple = (),
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.action = action
+        self.args = args
+        self.label = label
+        self.cancelled = False
+        self._queue: EventQueue | None = None
 
     def cancel(self) -> None:
         """Mark this event so the queue skips it when it surfaces."""
@@ -58,9 +107,17 @@ class Event:
             if self._queue is not None:
                 self._queue._note_cancelled()
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return (
+            f"<Event t={self.time!r} p={self.priority} "
+            f"#{self.sequence} {self.label!r}{state}>"
+        )
+
 
 class EventQueue:
-    """A heap of :class:`Event` objects with lazy cancellation.
+    """A tuple-keyed heap of :class:`Event` objects with lazy cancellation,
+    optionally backed by a :class:`~repro.sim.wheel.TimerWheel`.
 
     >>> q = EventQueue()
     >>> e = q.push(1.0, lambda: None, label="hello")
@@ -71,10 +128,13 @@ class EventQueue:
     True
     """
 
-    def __init__(self) -> None:
-        self._heap: list[Event] = []
+    def __init__(self, *, wheel: TimerWheel | None = None) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
+        self.wheel = wheel
+        #: number of times the queue rebuilt itself to shed corpses
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -85,43 +145,141 @@ class EventQueue:
     def push(
         self,
         time: float,
-        action: Callable[[], Any],
+        action: Callable[..., Any],
         *,
+        args: tuple = (),
         priority: int = PRIORITY_NORMAL,
         label: str = "",
+        wheel: bool = False,
     ) -> Event:
-        """Insert an event and return a handle that can be cancelled."""
+        """Insert an event and return a handle that can be cancelled.
+
+        ``wheel=True`` marks timer-class work (likely to be cancelled or
+        restarted before firing): it is filed in the timer wheel when one
+        is attached, falling back to the heap when the target slot has
+        already been flushed.  Ordering is identical either way.
+        """
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time!r}")
-        event = Event(time, priority, next(self._counter), action, label)
+        event = Event(time, priority, next(self._counter), action, args, label)
         event._queue = self
-        heapq.heappush(self._heap, event)
+        if not (wheel and self.wheel is not None and self.wheel.insert(event)):
+            heappush(self._heap, (time, priority, event.sequence, event))
         self._live += 1
         return event
 
+    # ------------------------------------------------------------------
+    # Corpse accounting
+    # ------------------------------------------------------------------
+    @property
+    def stored(self) -> int:
+        """Entries physically held: live plus lazily-cancelled corpses."""
+        wheel = self.wheel
+        return len(self._heap) + (wheel.stored if wheel is not None else 0)
+
+    @property
+    def cancelled_fraction(self) -> float:
+        """Fraction of stored entries that are cancelled corpses."""
+        stored = self.stored
+        return (stored - self._live) / stored if stored else 0.0
+
     def _note_cancelled(self) -> None:
         self._live -= 1
+        stored = self.stored
+        if stored >= _COMPACT_MIN_STORED and (stored - self._live) * 2 > stored:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the heap without corpses and prune the wheel.
+
+        Mutates the heap list in place so aliases held by an in-flight
+        ``pop`` loop stay valid.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[3].cancelled]
+        heapify(self._heap)
+        if self.wheel is not None:
+            self.wheel.prune()
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def _sync_wheel(self) -> None:
+        """Migrate wheel entries due at or before the heap's minimum.
+
+        After this, the heap's minimum (if any) is globally minimal:
+        every entry still in the wheel fires strictly later.
+        """
+        wheel = self.wheel
+        if wheel is None or not wheel.stored:
+            return
+        heap = self._heap
+        if not heap:
+            wheel.flush_next(heap)
+        elif wheel.frontier <= heap[0][0]:
+            wheel.flush_until(heap[0][0], heap)
 
     def pop(self) -> Event | None:
         """Remove and return the earliest live event, or ``None`` if empty.
 
         Cancelled events encountered on the way are discarded silently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while True:
+            self._sync_wheel()
+            if not heap:
+                return None
+            event = heappop(heap)[3]
             if event.cancelled:
                 continue
             self._live -= 1
             return event
-        return None
+
+    def pop_due(self, until: float | None = None) -> Event | None:
+        """Pop the earliest live event due at or before ``until``.
+
+        Returns ``None`` when the queue is empty or the next live event
+        fires after ``until`` (that event is left in place).  This is the
+        run loop's single entry point: it fuses the peek/pop pair and the
+        wheel synchronisation into one heap access per iteration.
+        """
+        heap = self._heap
+        wheel = self.wheel
+        while True:
+            # inline _sync_wheel: this runs once per executed event
+            if wheel is not None and wheel.stored:
+                if not heap:
+                    wheel.flush_next(heap)
+                elif wheel.frontier <= heap[0][0]:
+                    wheel.flush_until(heap[0][0], heap)
+            if not heap:
+                return None
+            entry = heap[0]
+            event = entry[3]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            heappop(heap)
+            self._live -= 1
+            return event
 
     def peek_time(self) -> float | None:
         """Return the fire time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while True:
+            self._sync_wheel()
+            if not heap:
+                return None
+            if heap[0][3].cancelled:
+                heappop(heap)
+                continue
+            return heap[0][0]
 
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()
+        if self.wheel is not None:
+            self.wheel.clear()
         self._live = 0

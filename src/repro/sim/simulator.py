@@ -4,9 +4,20 @@ The whole reproduction is built on this loop.  Nodes, channels, timers and
 protocols never sleep or poll; they schedule callbacks at absolute virtual
 times and the simulator executes them in deterministic order.
 
+The loop pulls events through :meth:`EventQueue.pop_due
+<repro.sim.events.EventQueue.pop_due>` — one heap access per iteration —
+and dispatches them as ``action(*args)``, so hot paths can schedule bound
+methods with arguments instead of allocating a closure per packet.
+Timer-class work goes through the :class:`~repro.sim.wheel.TimerWheel`
+(``schedule(..., wheel=True)``); ordering is byte-identical with the
+wheel on or off, which `tests/test_eventloop_equivalence.py` pins.
+
 Observability hangs off ``sim.obs`` (see :mod:`repro.obs`): when a
 profiler is enabled the loop times each event and tracks queue depth;
 when nothing is enabled the loop body pays a single ``None`` check.
+Queue health (pending count, compactions, cancelled fraction, wheel
+occupancy) is mirrored into the metrics registry at the end of each
+``run``.
 """
 
 from __future__ import annotations
@@ -17,6 +28,12 @@ from repro.obs import Observability
 from repro.sim.events import Event, EventQueue, PRIORITY_NORMAL
 from repro.sim.logging import WARNING, SimLogger
 from repro.sim.rng import RandomStreams
+from repro.sim.wheel import TimerWheel
+
+#: Module-wide default for new simulators.  The equivalence tests flip
+#: this to compare the wheel-backed loop against the plain heap; normal
+#: code never touches it.
+USE_TIMER_WHEEL = True
 
 
 class SimulationError(RuntimeError):
@@ -32,15 +49,23 @@ class Simulator:
 
     >>> sim = Simulator(seed=1)
     >>> fired = []
-    >>> _ = sim.schedule(2.5, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule(2.5, fired.append, args=("tick",))
     >>> sim.run()
     >>> fired
-    [2.5]
+    ['tick']
     """
 
-    def __init__(self, *, seed: int = 0, log_level: int | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        log_level: int | None = None,
+        use_wheel: bool | None = None,
+    ) -> None:
+        if use_wheel is None:
+            use_wheel = USE_TIMER_WHEEL
         self.now: float = 0.0
-        self.queue = EventQueue()
+        self.queue = EventQueue(wheel=TimerWheel() if use_wheel else None)
         self.streams = RandomStreams(seed)
         self.logger = SimLogger(
             self, level=WARNING if log_level is None else log_level
@@ -56,34 +81,50 @@ class Simulator:
     def schedule(
         self,
         delay: float,
-        action: Callable[[], Any],
+        action: Callable[..., Any],
         *,
+        args: tuple = (),
         priority: int = PRIORITY_NORMAL,
         label: str = "",
+        wheel: bool = False,
     ) -> Event:
-        """Schedule ``action`` to run ``delay`` seconds from now."""
+        """Schedule ``action(*args)`` to run ``delay`` seconds from now.
+
+        ``wheel=True`` files the event in the timer wheel (see
+        :meth:`EventQueue.push <repro.sim.events.EventQueue.push>`); use
+        it for timeouts that are usually cancelled or restarted.
+        """
         if delay < 0:
             raise SimulationError(
                 f"cannot schedule into the past (delay={delay!r})"
             )
         return self.queue.push(
-            self.now + delay, action, priority=priority, label=label
+            self.now + delay,
+            action,
+            args=args,
+            priority=priority,
+            label=label,
+            wheel=wheel,
         )
 
     def schedule_at(
         self,
         time: float,
-        action: Callable[[], Any],
+        action: Callable[..., Any],
         *,
+        args: tuple = (),
         priority: int = PRIORITY_NORMAL,
         label: str = "",
+        wheel: bool = False,
     ) -> Event:
-        """Schedule ``action`` at absolute virtual ``time``."""
+        """Schedule ``action(*args)`` at absolute virtual ``time``."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time!r}, already at t={self.now!r}"
             )
-        return self.queue.push(time, action, priority=priority, label=label)
+        return self.queue.push(
+            time, action, args=args, priority=priority, label=label, wheel=wheel
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -106,40 +147,57 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        queue = self.queue
+        pop_due = queue.pop_due
         profiler = self.obs.profiler
         if profiler is not None:
             profiler.begin_run(self.now)
         try:
-            while not self._stopped:
-                next_time = self.queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self.queue.pop()
-                if event is None:  # pragma: no cover - raced cancellation
-                    break
-                self.now = event.time
-                if profiler is not None:
-                    profiler.note_queue_depth(len(self.queue) + 1)
-                    started = profiler.clock()
-                    event.action()
-                    profiler.record(event.label, profiler.clock() - started)
-                else:
-                    event.action()
-                executed += 1
-                self.events_executed += 1
-                if max_events is not None and executed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} "
-                        f"(last event: {event.label or event.action!r})"
-                    )
+            if profiler is not None:
+                clock = profiler.clock
+                record = profiler.record
+                high_water = profiler.queue_high_water
+                try:
+                    while not self._stopped:
+                        event = pop_due(until)
+                        if event is None:
+                            break
+                        self.now = event.time
+                        depth = queue._live + 1
+                        if depth > high_water:
+                            high_water = depth
+                        started = clock()
+                        event.action(*event.args)
+                        record(event.label, clock() - started)
+                        executed += 1
+                        if max_events is not None and executed >= max_events:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events} "
+                                f"(last event: {event.label or event.action!r})"
+                            )
+                finally:
+                    profiler.queue_high_water = high_water
+            else:
+                while not self._stopped:
+                    event = pop_due(until)
+                    if event is None:
+                        break
+                    self.now = event.time
+                    event.action(*event.args)
+                    executed += 1
+                    if max_events is not None and executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"(last event: {event.label or event.action!r})"
+                        )
             if until is not None and not self._stopped and self.now < until:
                 self.now = until
         finally:
             self._running = False
+            self.events_executed += executed
             if profiler is not None:
                 profiler.end_run(self.now)
+            self._publish_queue_metrics()
 
     def step(self) -> bool:
         """Execute exactly one event.  Returns ``False`` when idle.
@@ -165,10 +223,10 @@ class Simulator:
                 profiler.note_queue_depth(len(self.queue) + 1)
                 profiler.begin_run(self.now)
                 started = profiler.clock()
-                event.action()
+                event.action(*event.args)
                 profiler.record(event.label, profiler.clock() - started)
             else:
-                event.action()
+                event.action(*event.args)
             self.events_executed += 1
         finally:
             self._running = False
@@ -179,6 +237,29 @@ class Simulator:
     def stop(self) -> None:
         """Stop ``run`` after the currently executing event returns."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _publish_queue_metrics(self) -> None:
+        """Mirror queue/wheel health into the metrics registry.
+
+        Called once per ``run``, never per event, so the cost is noise.
+        """
+        metrics = self.obs.metrics
+        if metrics is None:
+            return
+        queue = self.queue
+        metrics.gauge("sim.queue.pending").set(len(queue))
+        metrics.gauge("sim.queue.compactions").set(queue.compactions)
+        metrics.gauge("sim.queue.cancelled_fraction").set(
+            round(queue.cancelled_fraction, 6)
+        )
+        wheel = queue.wheel
+        if wheel is not None:
+            metrics.gauge("sim.wheel.pending").set(wheel.stored)
+            metrics.gauge("sim.wheel.flushed").set(wheel.flushed)
+            metrics.gauge("sim.wheel.pruned").set(wheel.pruned)
 
     # ------------------------------------------------------------------
     # Convenience

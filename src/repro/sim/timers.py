@@ -3,6 +3,11 @@
 AODV and BlackDP are full of timeouts (RREP wait, Hello intervals, route
 lifetimes, verification-table expiry); these helpers wrap the raw event
 handles with restart/cancel semantics so protocol code stays readable.
+
+Timers schedule through the simulator's timer wheel (``wheel=True``):
+restart-heavy timeouts file in O(1) buckets instead of paying a heap
+push per restart, and corpses cancelled in a bucket never touch the
+heap at all.  Firing order is unchanged — see :mod:`repro.sim.events`.
 """
 
 from __future__ import annotations
@@ -50,7 +55,7 @@ class Timer:
         self.cancel()
         use_delay = self.delay if delay is None else delay
         self._event = self._simulator.schedule(
-            use_delay, self._fire, label=self.label
+            use_delay, self._fire, label=self.label, wheel=True
         )
 
     def cancel(self) -> None:
@@ -100,7 +105,7 @@ class PeriodicTimer:
         """Begin the periodic schedule; restarting resets the phase."""
         self.cancel()
         self._event = self._simulator.schedule(
-            self._first_delay, self._fire, label=self.label
+            self._first_delay, self._fire, label=self.label, wheel=True
         )
 
     def cancel(self) -> None:
@@ -112,6 +117,6 @@ class PeriodicTimer:
     def _fire(self) -> None:
         self.fired += 1
         self._event = self._simulator.schedule(
-            self.interval, self._fire, label=self.label
+            self.interval, self._fire, label=self.label, wheel=True
         )
         self._action()

@@ -189,7 +189,10 @@ class VehicleNode(Node):
         if delay <= 0:
             return
         self._crossing_event = self.sim.schedule(
-            delay, self._cross_boundary, label=f"{self.node_id} crossing"
+            delay,
+            self._cross_boundary,
+            label=f"{self.node_id} crossing",
+            wheel=True,
         )
 
     def _cross_boundary(self) -> None:

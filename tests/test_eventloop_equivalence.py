@@ -1,0 +1,134 @@
+"""Golden-trace equivalence: the overhauled event loop vs the legacy one.
+
+The hot-path overhaul (tuple-keyed heap, timer wheel, batched broadcast
+delivery) must be invisible to every seeded experiment.  These tests run
+the same trial under the new defaults and under the legacy
+configuration (``USE_TIMER_WHEEL=False`` + ``batch_broadcast=False``,
+which together reproduce the pre-overhaul per-event scheduling exactly)
+and require byte-identical trace JSONL plus an identical
+:class:`TrialSummary`.
+
+Packet uids come from a module-global counter, so each run resets it —
+otherwise the second run's trace would differ in uids alone.
+"""
+
+import itertools
+
+import pytest
+
+import repro.net.packets as packets_module
+import repro.sim.simulator as simulator_module
+from repro.experiments.config import (
+    ATTACK_COOPERATIVE,
+    ATTACK_NONE,
+    ATTACK_SINGLE,
+    TrialConfig,
+)
+from repro.experiments.executor import summarize_trial
+from repro.experiments.trial import run_trial
+from repro.net import ChannelConfig, Network, Node
+from repro.routing.protocol import AodvConfig, AodvProtocol
+from repro.sim import Simulator
+
+
+def _reset_packet_uids():
+    packets_module._packet_ids = itertools.count(1)
+
+
+def _run_table1_trial(monkeypatch, *, attack, cluster, use_wheel, batch):
+    _reset_packet_uids()
+    monkeypatch.setattr(simulator_module, "USE_TIMER_WHEEL", use_wheel)
+    config = TrialConfig(
+        seed=7,
+        attack=attack,
+        attacker_cluster=cluster,
+        trace=True,
+        channel=ChannelConfig(batch_broadcast=batch),
+    )
+    result = run_trial(config)
+    trace = "\n".join(event.to_json() for event in result.trace_events)
+    return trace, summarize_trial(config, result).to_dict()
+
+
+@pytest.mark.parametrize(
+    "attack,cluster",
+    [(ATTACK_SINGLE, 4), (ATTACK_COOPERATIVE, 8), (ATTACK_NONE, 4)],
+)
+def test_table1_trial_traces_are_byte_identical(monkeypatch, attack, cluster):
+    new_trace, new_summary = _run_table1_trial(
+        monkeypatch, attack=attack, cluster=cluster, use_wheel=True, batch=True
+    )
+    old_trace, old_summary = _run_table1_trial(
+        monkeypatch, attack=attack, cluster=cluster, use_wheel=False, batch=False
+    )
+    assert new_trace == old_trace
+    assert new_summary == old_summary
+
+
+def test_each_mechanism_is_independently_equivalent(monkeypatch):
+    """Wheel-only and batch-only configurations also match the legacy
+    run, so a regression can be attributed to one mechanism."""
+    baseline = _run_table1_trial(
+        monkeypatch, attack=ATTACK_SINGLE, cluster=4, use_wheel=False, batch=False
+    )
+    wheel_only = _run_table1_trial(
+        monkeypatch, attack=ATTACK_SINGLE, cluster=4, use_wheel=True, batch=False
+    )
+    batch_only = _run_table1_trial(
+        monkeypatch, attack=ATTACK_SINGLE, cluster=4, use_wheel=False, batch=True
+    )
+    assert wheel_only == baseline
+    assert batch_only == baseline
+
+
+def _run_hello_mesh(monkeypatch, *, use_wheel, batch):
+    """Jitter-free beacon-heavy mesh: the case where batching genuinely
+    merges receivers (identical arrival times) instead of degenerating
+    into singleton groups, plus live unicast data on top.
+    """
+    _reset_packet_uids()
+    monkeypatch.setattr(simulator_module, "USE_TIMER_WHEEL", use_wheel)
+    sim = Simulator(seed=11)
+    net = Network(
+        sim, ChannelConfig(jitter=0.0, loss_rate=0.05, batch_broadcast=batch)
+    )
+    sim.obs.enable_trace()
+    nodes = []
+    placement = sim.rng("placement")
+    for i in range(24):
+        node = Node(
+            sim, f"n{i}", position=(placement.uniform(0, 3000), 0.0),
+            transmission_range=600.0,
+        )
+        net.attach(node)
+        protocol = AodvProtocol(
+            node, AodvConfig(enable_hello=True, hello_interval=1.0)
+        )
+        nodes.append((node, protocol))
+    received = []
+    nodes[-1][1].add_data_sink(
+        lambda packet: received.append((sim.now, packet.payload))
+    )
+    sim.run(until=3.0)
+    source = nodes[0][1]
+    destination = nodes[-1][0].address
+    source.discover(
+        destination, lambda _result: source.send_data(destination, "probe")
+    )
+    sim.run(until=12.0)
+    trace = "\n".join(event.to_json() for event in sim.obs.trace.events)
+    return trace, received, sim.events_executed
+
+
+def test_hello_mesh_batching_is_trace_identical_with_fewer_events(monkeypatch):
+    new_trace, new_rx, new_events = _run_hello_mesh(
+        monkeypatch, use_wheel=True, batch=True
+    )
+    old_trace, old_rx, old_events = _run_hello_mesh(
+        monkeypatch, use_wheel=False, batch=False
+    )
+    assert new_trace == old_trace
+    assert new_rx == old_rx
+    # with jitter=0 every beacon's receivers share one arrival time, so
+    # the batched run executes far fewer events for identical behaviour
+    assert new_events < old_events * 0.6

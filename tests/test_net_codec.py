@@ -153,6 +153,33 @@ def test_truncated_packet_rejected():
         decode(data[: len(data) // 2])
 
 
+@pytest.mark.parametrize("packet", SAMPLE_PACKETS, ids=lambda p: p.kind)
+def test_every_truncated_body_prefix_rejected(packet):
+    """Body reads are sequential and consume the exact encoded length,
+    so *every* strict prefix must surface as a CodecError — never a
+    silent short parse or a library-internal exception."""
+    data = encode(packet)
+    for cut in range(len(data)):
+        with pytest.raises(CodecError):
+            decode(data[:cut])
+
+
+def test_registry_has_no_untested_packet_type():
+    """Audit: every registered wire type must appear in the round-trip
+    coverage above, so adding a codec entry without a test fails here."""
+    from repro.net.codec import _REGISTRY
+
+    covered = {type(packet) for packet in SAMPLE_PACKETS}
+    # types exercised by the dedicated certificate-bearing tests
+    covered |= {RouteReply, SecureHello, HelloReply,
+                DetectionRequest, DetectionForward}
+    registered = {cls for cls, _encode, _decode in _REGISTRY.values()}
+    assert registered <= covered, (
+        f"registered packet types without a round-trip test: "
+        f"{[cls.__name__ for cls in registered - covered]}"
+    )
+
+
 def test_trailing_bytes_rejected():
     data = encode(SAMPLE_PACKETS[0]) + b"junk"
     with pytest.raises(CodecError, match="trailing"):
@@ -189,6 +216,59 @@ def test_warning_roundtrip_property(ids):
     roundtrip_equal(MemberWarning(src="r", dst="*", revoked_ids=ids))
 
 
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    speed=_finite,
+    x=_finite,
+    y=_finite,
+    direction=st.sampled_from([-1, 1]),
+)
+def test_join_request_roundtrip_property(speed, x, y, direction):
+    roundtrip_equal(JoinRequest(src="v", dst="*", speed=speed,
+                                position=(x, y), direction=direction))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cluster_head=st.text(max_size=20),
+    cluster_index=st.integers(0, 2**31),
+)
+def test_join_reply_roundtrip_property(cluster_head, cluster_index):
+    roundtrip_equal(JoinReply(src="r", dst="v", cluster_head=cluster_head,
+                              cluster_index=cluster_index))
+
+
+@settings(max_examples=20, deadline=None)
+@given(src=st.text(max_size=20), dst=st.text(max_size=20))
+def test_leave_notice_roundtrip_property(src, dst):
+    roundtrip_equal(LeaveNotice(src=src, dst=dst))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    payload=st.none() | st.text(max_size=40),
+    hops=st.integers(0, 255),
+)
+def test_data_packet_roundtrip_property(payload, hops):
+    roundtrip_equal(DataPacket(src="a", dst="b", originator="a",
+                               final_destination="z", payload=payload,
+                               hops_travelled=hops))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    unreachable=st.lists(
+        st.tuples(st.text(max_size=15), st.integers(-(2**31), 2**31)),
+        max_size=8,
+    ),
+)
+def test_route_error_roundtrip_property(unreachable):
+    roundtrip_equal(RouteError(src="a", dst="*", unreachable=unreachable))
+
+
 @settings(max_examples=40, deadline=None)
 @given(junk=st.binary(min_size=1, max_size=64))
 def test_arbitrary_bytes_never_crash_decoder(junk):
@@ -196,3 +276,27 @@ def test_arbitrary_bytes_never_crash_decoder(junk):
         decode(junk)
     except CodecError:
         pass  # rejection is the expected path
+
+
+def test_wire_size_memoised_per_instance(monkeypatch):
+    import repro.net.codec as codec
+
+    packet = HelloBeacon(src="a", dst="*", originator="a", originator_seq=1)
+    calls = []
+    real_encode = codec.encode
+    monkeypatch.setattr(
+        codec, "encode", lambda p: calls.append(1) or real_encode(p)
+    )
+    first = wire_size(packet)
+    second = wire_size(packet)
+    assert first == second == len(real_encode(packet))
+    assert len(calls) == 1  # the second call hit the memo
+
+
+def test_decode_seeds_wire_size_memo(monkeypatch):
+    import repro.net.codec as codec
+
+    data = encode(SAMPLE_PACKETS[0])
+    decoded = decode(data)
+    monkeypatch.setattr(codec, "encode", lambda p: pytest.fail("re-encoded"))
+    assert wire_size(decoded) == len(data)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW, EventQueue
+from repro.sim.events import (
+    _COMPACT_MIN_STORED,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    EventQueue,
+)
+from repro.sim.wheel import TimerWheel
 
 
 def test_pop_returns_events_in_time_order():
@@ -79,3 +85,96 @@ def test_clear_empties_queue():
     assert len(q) == 0
     assert q.pop() is None
     assert not q
+
+
+def test_clear_empties_wheel_backed_queue():
+    q = EventQueue(wheel=TimerWheel())
+    q.push(1.0, lambda: None, wheel=True)
+    q.push(2.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_event_args_passed_to_action():
+    q = EventQueue()
+    hits = []
+    q.push(1.0, hits.append, args=("payload",))
+    event = q.pop()
+    event.action(*event.args)
+    assert hits == ["payload"]
+
+
+def test_pop_due_respects_until_and_leaves_later_events():
+    q = EventQueue()
+    q.push(1.0, lambda: "a", label="a")
+    q.push(5.0, lambda: "b", label="b")
+    assert q.pop_due(2.0).label == "a"
+    assert q.pop_due(2.0) is None
+    assert len(q) == 1  # the later event is still there
+    assert q.pop_due(None).label == "b"
+    assert q.pop_due(None) is None
+
+
+def test_pop_due_includes_events_exactly_at_until():
+    q = EventQueue()
+    q.push(2.0, lambda: None, label="edge")
+    assert q.pop_due(2.0).label == "edge"
+
+
+def test_cancelled_fraction_tracks_corpses():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(10)]
+    assert q.cancelled_fraction == 0.0
+    for event in events[:4]:
+        event.cancel()
+    assert q.cancelled_fraction == pytest.approx(0.4)
+
+
+def test_compaction_triggers_above_half_cancelled():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(_COMPACT_MIN_STORED * 2)]
+    compacted_at = None
+    for cancelled, event in enumerate(events[:-1], start=1):
+        event.cancel()
+        if compacted_at is None and q.compactions:
+            compacted_at = cancelled
+            # the compaction pass physically removed every corpse
+            assert q.stored == len(q)
+            assert q.cancelled_fraction == 0.0
+    # it fired as soon as corpses became the majority, not at the end
+    assert compacted_at == _COMPACT_MIN_STORED + 1
+
+
+def test_compaction_preserves_pop_order():
+    q = EventQueue(wheel=TimerWheel(granularity=0.5, num_slots=8))
+    survivors = []
+    corpses = []
+    for i in range(_COMPACT_MIN_STORED * 2):
+        # interleave heap and wheel entries, same times, varied priorities
+        event = q.push(
+            float(i % 7),
+            lambda: None,
+            priority=(i % 3) - 1,
+            label=f"e{i}",
+            wheel=(i % 2 == 0),
+        )
+        (survivors if i % 3 == 0 else corpses).append(event)
+    expected = sorted(
+        survivors, key=lambda e: (e.time, e.priority, e.sequence)
+    )
+    for event in corpses:
+        event.cancel()
+    assert q.compactions >= 1
+    popped = []
+    while (e := q.pop()) is not None:
+        popped.append(e)
+    assert popped == expected
+
+
+def test_small_queues_never_compact():
+    q = EventQueue()
+    events = [q.push(1.0, lambda: None) for _ in range(_COMPACT_MIN_STORED - 1)]
+    for event in events:
+        event.cancel()
+    assert q.compactions == 0
