@@ -1,0 +1,239 @@
+"""Snapshot subsystem benchmark: capture/restore latency and fork-at-time.
+
+Two claims behind ``repro.snapshot``:
+
+1. capture/restore latency — snapshot a live world (compressed and
+   uncompressed), restore it, and report wall clock and blob size as the
+   world grows; checkpointing a sweep must cost milliseconds, not
+   seconds;
+2. fork-at-time — a treatment-arm study over one shared warm-up
+   (``run_trial_arms``) versus re-running the cold warm-up per arm.
+   Arms are compared field-for-field against their cold runs first (a
+   mismatch is a hard failure: the fork contract is byte-identity), and
+   only then timed.  The win scales with ``(arms - 1) x warm-up`` minus
+   the pickle round-trips, so the studied scenario is the one the
+   feature exists for: a long steady-state warm-up shared by several
+   detection-parameter arms.
+
+Run the full sweep (writes ``BENCH_snapshot.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py
+
+CI smoke mode (tiny slice, asserts fork == cold and a wall-clock
+budget, writes nothing)::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pickle
+import platform
+import sys
+import time
+from datetime import date
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.config import ATTACK_SINGLE, TrialConfig  # noqa: E402
+from repro.experiments.trial import run_trial, run_trial_arms  # noqa: E402
+from repro.experiments.world import build_world  # noqa: E402
+from repro.snapshot import ForkPoint, restore, snapshot  # noqa: E402
+
+
+def _world(vehicles: int, until: float):
+    world = build_world(seed=11)
+    world.populate(vehicles)
+    world.sim.run(until=until)
+    return world
+
+
+def bench_latency(sizes: tuple[int, ...], until: float = 1.0) -> list[dict]:
+    """Snapshot/restore wall clock and blob size per world size."""
+    rows = []
+    for vehicles in sizes:
+        world = _world(vehicles, until)
+
+        started = time.perf_counter()
+        compressed = snapshot(world)
+        compress_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        raw = snapshot(world, compress=False)
+        raw_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        restored = restore(raw)
+        restore_seconds = time.perf_counter() - started
+        assert restored.sim.now == until
+
+        rows.append(
+            {
+                "vehicles": vehicles,
+                "sim_time": until,
+                "snapshot_ms": round(compress_seconds * 1e3, 2),
+                "snapshot_raw_ms": round(raw_seconds * 1e3, 2),
+                "restore_ms": round(restore_seconds * 1e3, 2),
+                "blob_bytes": len(compressed),
+                "blob_raw_bytes": len(raw),
+                "compression": round(len(raw) / len(compressed), 2),
+            }
+        )
+    return rows
+
+
+def _result_bytes(result) -> bytes:
+    payload = {
+        name: value
+        for name, value in vars(result).items()
+        if name != "profile"
+    }
+    return pickle.dumps(payload, protocol=4)
+
+
+def bench_fork(
+    *, warmup: float, settle: float, arms: int, seed: int = 5
+) -> dict:
+    """Fork-at-time arm study vs cold per-arm runs (checked, then timed)."""
+    base = TrialConfig(
+        seed=seed,
+        attack=ATTACK_SINGLE,
+        attacker_cluster=5,
+        warmup=warmup,
+        settle_time=settle,
+    )
+    treatments = {
+        f"probe-delay-{0.5 + 0.25 * index:.2f}": dataclasses.replace(
+            base.blackdp, inter_probe_delay=0.5 + 0.25 * index
+        )
+        for index in range(arms)
+    }
+
+    started = time.perf_counter()
+    forked = run_trial_arms(base, treatments)
+    fork_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cold = {
+        name: run_trial(dataclasses.replace(base, blackdp=treatment))
+        for name, treatment in treatments.items()
+    }
+    cold_seconds = time.perf_counter() - started
+
+    for name in treatments:
+        if _result_bytes(forked[name]) != _result_bytes(cold[name]):
+            raise AssertionError(
+                f"fork arm {name!r} diverged from its cold run — the "
+                f"fork-at-time byte-identity contract is broken"
+            )
+
+    return {
+        "warmup": warmup,
+        "settle_time": settle,
+        "arms": arms,
+        "fork_seconds": round(fork_seconds, 3),
+        "cold_seconds": round(cold_seconds, 3),
+        "speedup": round(cold_seconds / fork_seconds, 2)
+        if fork_seconds > 0
+        else float("inf"),
+    }
+
+
+def bench_fork_reuse(vehicles: int = 40, forks: int = 10) -> dict:
+    """Amortization of one ForkPoint across many forks."""
+    world = _world(vehicles, until=1.0)
+    point = ForkPoint(world)
+    started = time.perf_counter()
+    for _ in range(forks):
+        fork = point.fork()
+        assert fork.sim.now == 1.0
+    per_fork = (time.perf_counter() - started) / forks
+    return {
+        "vehicles": vehicles,
+        "forks": forks,
+        "blob_bytes": point.nbytes,
+        "fork_ms": round(per_fork * 1e3, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_snapshot.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI slice: assert fork == cold under a time budget, "
+        "write nothing",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=120.0,
+        help="smoke-mode wall-clock budget in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    if args.smoke:
+        latency = bench_latency(sizes=(20,), until=0.5)
+        fork = bench_fork(warmup=30.0, settle=8.0, arms=3)
+    else:
+        latency = bench_latency(sizes=(20, 40, 75))
+        fork = bench_fork(warmup=120.0, settle=15.0, arms=6)
+    reuse = bench_fork_reuse()
+    total = time.perf_counter() - started
+
+    for row in latency:
+        print(
+            f"{row['vehicles']} vehicles: snapshot {row['snapshot_ms']:.1f}ms "
+            f"({row['blob_bytes']} B compressed, {row['compression']:.1f}x), "
+            f"restore {row['restore_ms']:.1f}ms"
+        )
+    print(
+        f"fork-at-time ({fork['arms']} arms over a {fork['warmup']:.0f}s "
+        f"warm-up): fork {fork['fork_seconds']:.2f}s vs cold "
+        f"{fork['cold_seconds']:.2f}s ({fork['speedup']:.2f}x)"
+    )
+    print(
+        f"fork reuse: {reuse['fork_ms']:.1f}ms per fork "
+        f"({reuse['blob_bytes']} B captured once)"
+    )
+
+    if args.smoke:
+        print(f"smoke OK: all fork arms == cold runs ({total:.1f}s)")
+        if total > args.budget:
+            print(f"FAIL: smoke exceeded {args.budget:.0f}s budget")
+            return 1
+        return 0
+
+    if fork["speedup"] <= 1.0:
+        print("FAIL: fork-at-time did not beat the cold warm-up path")
+        return 1
+
+    payload = {
+        "benchmark": (
+            "world snapshot capture/restore latency vs world size, and a "
+            "fork-at-time treatment-arm study vs cold per-arm warm-ups"
+        ),
+        "recorded": date.today().isoformat(),
+        "python": platform.python_version(),
+        "latency": latency,
+        "fork_at_time": fork,
+        "fork_reuse": reuse,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

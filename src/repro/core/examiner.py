@@ -24,6 +24,7 @@ Packet accounting follows Figure 5 (see :mod:`repro.core.accounting`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.clusters.rsu import RsuNode
@@ -114,9 +115,10 @@ class DetectionService:
         rsu.on_member_join.append(self._welcome_member)
         # Replies from revoked pseudonyms must not (re)poison the RSU's
         # own forwarding table.
-        rsu.aodv.reply_filter = (
-            lambda reply: not self.crl.is_revoked_id(reply.replied_by)
-        )
+        rsu.aodv.reply_filter = self._reply_not_revoked
+
+    def _reply_not_revoked(self, reply: RouteReply) -> bool:
+        return not self.crl.is_revoked_id(reply.replied_by)
 
     @property
     def sim(self):
@@ -130,7 +132,7 @@ class DetectionService:
             # Authenticating the reporter costs RSU compute; under load
             # this is the §III-C bottleneck (and the fog's job).
             self.processor.submit(
-                lambda: self._handle_detection_request(packet, sender),
+                partial(self._handle_detection_request, packet, sender),
                 label="d_req-auth",
             )
             return

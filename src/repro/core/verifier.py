@@ -19,6 +19,7 @@ blacklist, after which their replies are ignored entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.config import BlackDpConfig
@@ -77,6 +78,26 @@ class _Case:
     finished: bool = False
 
 
+class _BlacklistGate:
+    """Admission gate dropping transmissions from blacklisted pseudonyms.
+
+    A module-level callable class (rather than a closure) so a vehicle
+    carrying it can be pickled into a world snapshot.  Chains to the gate
+    that was installed before it, preserving stacked gate semantics.
+    """
+
+    __slots__ = ("vehicle", "previous")
+
+    def __init__(self, vehicle: VehicleNode, previous) -> None:
+        self.vehicle = vehicle
+        self.previous = previous
+
+    def __call__(self, packet, sender: str) -> bool:
+        if sender in self.vehicle.blacklist:
+            return False
+        return self.previous(packet, sender) if self.previous else True
+
+
 class RouteVerifier:
     """Attach BlackDP verification to an honest vehicle.
 
@@ -105,20 +126,14 @@ class RouteVerifier:
         vehicle.register_handler(MemberWarning, self._on_member_warning)
         # Revoked pseudonyms must not re-poison the routing table: drop
         # their replies at the protocol layer.
-        vehicle.aodv.reply_filter = (
-            lambda reply: reply.replied_by not in vehicle.blacklist
-        )
+        vehicle.aodv.reply_filter = self._reply_admissible
         # And "avoid communications with the attacker(s)" entirely: any
         # transmission from a blacklisted pseudonym is dropped at the
         # admission gate, so a revoked node cannot even serve as a relay.
-        previous_gate = vehicle.gate
+        vehicle.gate = _BlacklistGate(vehicle, vehicle.gate)
 
-        def blacklist_gate(packet, sender: str) -> bool:
-            if sender in vehicle.blacklist:
-                return False
-            return previous_gate(packet, sender) if previous_gate else True
-
-        vehicle.gate = blacklist_gate
+    def _reply_admissible(self, reply: RouteReply) -> bool:
+        return reply.replied_by not in self.vehicle.blacklist
 
     # ------------------------------------------------------------------
     # Public API
@@ -153,9 +168,7 @@ class RouteVerifier:
     # ------------------------------------------------------------------
     def _discover(self, case: _Case) -> None:
         case.discoveries += 1
-        self.vehicle.aodv.discover(
-            case.destination, lambda result: self._evaluate(case, result)
-        )
+        self.vehicle.aodv.discover(case.destination, partial(self._evaluate, case))
 
     def _evaluate(self, case: _Case, result: DiscoveryResult) -> None:
         if case.finished:

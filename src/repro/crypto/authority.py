@@ -37,6 +37,15 @@ class Enrolment:
     keypair: KeyPair
     certificate: Certificate
 
+    def identity(self) -> tuple[Certificate, object]:
+        """Credential provider ``() -> (certificate, private key)``.
+
+        Assignable directly as an AODV identity hook; a bound method of a
+        plain dataclass, so worlds holding it stay snapshot-serializable
+        (a lambda here would not pickle).
+        """
+        return (self.certificate, self.keypair.private)
+
 
 class TrustedAuthority:
     """One TA (fog) node.

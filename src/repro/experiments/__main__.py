@@ -186,6 +186,82 @@ def _cmd_trial(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_progress(status) -> None:
+    print(f"  {status.completed}/{status.total} units journaled", flush=True)
+
+
+def _finish_campaign(campaign, args: argparse.Namespace) -> int:
+    status = campaign.run(
+        jobs=args.jobs, batch=args.batch, progress=_campaign_progress
+    )
+    print(status.format())
+    if campaign.manifest["spec"].get("kind") == "figure4":
+        from repro.experiments.figure4 import figure4_rows, format_figure4
+
+        spec = campaign.manifest["spec"]
+        rows = figure4_rows(
+            campaign.results(),
+            trials=int(spec["trials"]),
+            attacks=tuple(spec["attacks"]),
+            clusters=tuple(int(c) for c in spec["clusters"]),
+        )
+        print()
+        print(format_figure4(rows))
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import Campaign, CampaignError
+
+    spec = {
+        "kind": "figure4",
+        "trials": args.trials,
+        "attacks": list(args.attacks.split(",")),
+        "clusters": list(range(1, 11)),
+        "base_seed": args.base_seed,
+    }
+    for attack in spec["attacks"]:
+        if attack not in ATTACK_TYPES:
+            print(f"unknown attack type {attack!r}", file=sys.stderr)
+            return 2
+    try:
+        campaign = Campaign.create(args.dir, name=args.name, spec=spec)
+    except CampaignError as error:
+        print(f"cannot create campaign: {error}", file=sys.stderr)
+        return 2
+    print(f"campaign {args.name!r}: {len(campaign.configs)} units -> {args.dir}")
+    return _finish_campaign(campaign, args)
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import Campaign, CampaignError
+
+    try:
+        campaign = Campaign.open(args.dir)
+    except CampaignError as error:
+        print(f"cannot resume campaign: {error}", file=sys.stderr)
+        return 2
+    status = campaign.status()
+    if status.done:
+        print(status.format())
+        return _finish_campaign(campaign, args)
+    print(f"resuming: {status.completed}/{status.total} units already done")
+    return _finish_campaign(campaign, args)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import Campaign, CampaignError
+
+    try:
+        campaign = Campaign.open(args.dir)
+    except CampaignError as error:
+        print(f"cannot read campaign: {error}", file=sys.stderr)
+        return 2
+    status = campaign.status()
+    print(status.format())
+    return 0 if status.done else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.scenario_file import (
         ScenarioError,
@@ -233,6 +309,33 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument("--trials", type=int, default=20)
     _add_parallel_args(report)
     report.set_defaults(func=_cmd_report)
+    campaign = sub.add_parser(
+        "campaign", help="resumable sweeps with an on-disk run ledger"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run", help="create a campaign directory and run it to completion"
+    )
+    campaign_run.add_argument("--dir", required=True, metavar="DIR")
+    campaign_run.add_argument("--name", default="figure4")
+    campaign_run.add_argument("--trials", type=int, default=150)
+    campaign_run.add_argument("--attacks", default="single,cooperative")
+    campaign_run.add_argument("--base-seed", type=int, default=1000)
+    campaign_run.add_argument("--jobs", type=int, default=1, metavar="N")
+    campaign_run.add_argument("--batch", type=int, default=50, metavar="N")
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="continue an interrupted campaign without recomputing"
+    )
+    campaign_resume.add_argument("--dir", required=True, metavar="DIR")
+    campaign_resume.add_argument("--jobs", type=int, default=1, metavar="N")
+    campaign_resume.add_argument("--batch", type=int, default=50, metavar="N")
+    campaign_resume.set_defaults(func=_cmd_campaign_resume)
+    campaign_status = campaign_sub.add_parser(
+        "status", help="report journaled progress of a campaign directory"
+    )
+    campaign_status.add_argument("--dir", required=True, metavar="DIR")
+    campaign_status.set_defaults(func=_cmd_campaign_status)
     run = sub.add_parser("run", help="run a JSON scenario file")
     run.add_argument("--config", required=True)
     _add_parallel_args(run)
@@ -254,7 +357,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     trial.set_defaults(func=_cmd_trial)
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt as interrupt:
+        # TrialRunInterrupted carries a partial-result summary; a bare
+        # Ctrl-C outside a sweep just reports the interrupt.
+        describe = getattr(interrupt, "summary", None)
+        message = describe() if callable(describe) else "interrupted"
+        print(f"\n{message}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -56,6 +56,50 @@ CACHE_SCHEMA = 2
 _CACHE_SHARDS = 16
 
 
+def append_jsonl_line(path: Path, record: dict) -> None:
+    """Append one JSON record to ``path`` as a single atomic write.
+
+    The line is serialized first and written with one ``os.write`` to an
+    ``O_APPEND`` descriptor: POSIX appends position-then-write atomically,
+    so concurrent writers (parallel sweeps sharing a cache directory, a
+    campaign journal plus its executor) interleave at *line* granularity
+    instead of corrupting each other mid-record.
+    """
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
+class TrialRunInterrupted(KeyboardInterrupt):
+    """Ctrl-C landed during a sweep; completed work was preserved.
+
+    Raised by :meth:`TrialExecutor.run_trials` instead of a bare
+    ``KeyboardInterrupt``: every summary that finished before (or while
+    draining) the interrupt has been flushed to the result cache, and
+    :attr:`results` carries them in submission order with ``None`` holes
+    for the units that never ran.  Subclassing ``KeyboardInterrupt``
+    keeps the exception out of ``except Exception`` handlers, so it
+    still unwinds like an interrupt unless a driver opts into partial
+    results.
+    """
+
+    def __init__(self, results: list, total: int) -> None:
+        super().__init__()
+        self.results = results
+        self.completed = sum(1 for r in results if r is not None)
+        self.total = total
+
+    def summary(self) -> str:
+        return (
+            f"interrupted: {self.completed}/{self.total} units finished "
+            "(flushed to the result cache); re-run the same command to "
+            "continue from there"
+        )
+
+
 # ----------------------------------------------------------------------
 # Trial summaries: the picklable, JSON-round-trippable unit of result
 # ----------------------------------------------------------------------
@@ -193,9 +237,10 @@ class ResultCache:
         if key in self._entries:
             return
         self._entries[key] = summary
-        record = {"k": key, "s": CACHE_SCHEMA, "r": summary.to_dict()}
-        with self._shard_path(key).open("a") as sink:
-            sink.write(json.dumps(record, sort_keys=True) + "\n")
+        append_jsonl_line(
+            self._shard_path(key),
+            {"k": key, "s": CACHE_SCHEMA, "r": summary.to_dict()},
+        )
 
 
 # ----------------------------------------------------------------------
@@ -203,7 +248,16 @@ class ResultCache:
 # ----------------------------------------------------------------------
 def _worker_warmup() -> None:
     """Pre-import the trial machinery and touch the Table I config so a
-    worker's first unit does not pay setup cost."""
+    worker's first unit does not pay setup cost.
+
+    Workers also ignore SIGINT: a Ctrl-C in the parent then *drains* —
+    in-flight chunks finish and are harvested — instead of killing the
+    pool mid-trial and losing everything it was holding.
+    """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
     from repro.experiments.config import TableIConfig
     from repro.experiments import trial, world  # noqa: F401
 
@@ -345,7 +399,19 @@ class TrialExecutor:
                 pending.append((index, config))
                 if self.cache is not None:
                     self.stats.cache_misses += 1
-        for index, summary in self._execute(pending, _run_trial_chunk):
+        collected: list = []
+        try:
+            self._execute(pending, _run_trial_chunk, out=collected)
+        except KeyboardInterrupt:
+            # Flush the chunks that did finish before unwinding, then
+            # surface a partial-result summary instead of a traceback.
+            for index, summary in collected:
+                results[index] = summary
+                if self.cache is not None:
+                    self.cache.put(trial_cache_key(configs[index]), summary)
+            self._account(len(configs), time.perf_counter() - started)
+            raise TrialRunInterrupted(results, total=len(configs)) from None
+        for index, summary in collected:
             results[index] = summary
             if self.cache is not None:
                 self.cache.put(trial_cache_key(configs[index]), summary)
@@ -376,17 +442,26 @@ class TrialExecutor:
     # ------------------------------------------------------------------
     # Engine
     # ------------------------------------------------------------------
-    def _execute(self, items: list, chunk_runner: Callable) -> list:
+    def _execute(
+        self, items: list, chunk_runner: Callable, out: list | None = None
+    ) -> list:
         """Run work items, parallel when configured; returns the
         concatenated per-item results (order handled by callers via the
-        embedded indices)."""
+        embedded indices).
+
+        ``out`` may be supplied by the caller: results are appended to
+        it as chunks complete, so work that finished before an interrupt
+        unwound the stack is still visible to the caller's handler.
+        """
+        if out is None:
+            out = []
         if not items:
-            return []
+            return out
         if self.jobs == 1 or len(items) == 1:
-            return self._run_inline(items, chunk_runner, fallback=False)
+            out.extend(self._run_inline(items, chunk_runner, fallback=False))
+            return out
         chunks = self._chunk(items)
         self.stats.chunks += len(chunks)
-        out: list = []
         pending = chunks
         for attempt in range(self.retries + 1):
             if not pending:
@@ -410,6 +485,21 @@ class TrialExecutor:
     ) -> list[list]:
         """One pool generation; returns the chunks that failed."""
         failed: list[list] = []
+        consumed: set = set()
+
+        def _collect(future, chunk) -> None:
+            try:
+                pid, busy, chunk_out = future.result()
+            except Exception:
+                # Worker crash (BrokenProcessPool) or task error:
+                # both retry, then fall back in-process where a real
+                # exception reproduces with a usable traceback.
+                failed.append(chunk)
+            else:
+                previous = self.stats.worker_busy.get(pid, 0.0)
+                self.stats.worker_busy[pid] = previous + busy
+                out.extend(chunk_out)
+
         with ProcessPoolExecutor(
             max_workers=self.jobs,
             mp_context=_pool_context(),
@@ -418,19 +508,24 @@ class TrialExecutor:
             futures = {
                 pool.submit(chunk_runner, chunk): chunk for chunk in chunks
             }
-            for future in as_completed(futures):
-                chunk = futures[future]
-                try:
-                    pid, busy, chunk_out = future.result()
-                except Exception:
-                    # Worker crash (BrokenProcessPool) or task error:
-                    # both retry, then fall back in-process where a real
-                    # exception reproduces with a usable traceback.
-                    failed.append(chunk)
-                else:
-                    previous = self.stats.worker_busy.get(pid, 0.0)
-                    self.stats.worker_busy[pid] = previous + busy
-                    out.extend(chunk_out)
+            try:
+                for future in as_completed(futures):
+                    consumed.add(future)
+                    _collect(future, futures[future])
+            except KeyboardInterrupt:
+                # Drain, don't discard: queued chunks are cancelled,
+                # in-flight chunks run to completion (workers ignore
+                # SIGINT) and their results are harvested before the
+                # interrupt continues unwinding.
+                for future in futures:
+                    future.cancel()
+                pool.shutdown(wait=True)
+                for future, chunk in futures.items():
+                    if future in consumed or future.cancelled():
+                        continue
+                    if future.done():
+                        _collect(future, chunk)
+                raise
         return failed
 
     def _run_inline(

@@ -82,20 +82,58 @@ def run_figure4(
     ``(attack, cluster, seed)``, so rows are byte-identical to the
     serial run.
     """
-    table = table or TableIConfig()
     executor = parallel or TrialExecutor()
-    points = [(attack, cluster) for attack in attacks for cluster in clusters]
-    configs = [
+    configs = figure4_configs(
+        trials=trials,
+        attacks=attacks,
+        clusters=clusters,
+        base_seed=base_seed,
+        table=table,
+    )
+    summaries = executor.run_trials(configs)
+    return figure4_rows(
+        summaries, trials=trials, attacks=attacks, clusters=clusters
+    )
+
+
+def figure4_configs(
+    *,
+    trials: int = 150,
+    attacks: tuple[str, ...] = (ATTACK_SINGLE, ATTACK_COOPERATIVE),
+    clusters: tuple[int, ...] = tuple(range(1, 11)),
+    base_seed: int = 1000,
+    table: TableIConfig | None = None,
+) -> list[TrialConfig]:
+    """The sweep's work units in canonical submission order.
+
+    Split out of :func:`run_figure4` so resumable campaigns can
+    enumerate exactly the same units (and so their journals line up
+    index-for-index with a direct run).
+    """
+    table = table or TableIConfig()
+    return [
         TrialConfig(
             seed=point_seed(base_seed, attack, cluster, trial_index),
             attack=attack,
             attacker_cluster=cluster,
             table=table,
         )
-        for attack, cluster in points
+        for attack in attacks
+        for cluster in clusters
         for trial_index in range(trials)
     ]
-    summaries = executor.run_trials(configs)
+
+
+def figure4_rows(
+    summaries: list[TrialSummary],
+    *,
+    trials: int,
+    attacks: tuple[str, ...] = (ATTACK_SINGLE, ATTACK_COOPERATIVE),
+    clusters: tuple[int, ...] = tuple(range(1, 11)),
+) -> list[Figure4Row]:
+    """Fold per-trial summaries (in :func:`figure4_configs` order) into
+    the plotted rows."""
+    points = [(attack, cluster) for attack in attacks for cluster in clusters]
     rows = []
     for point_index, (attack, cluster) in enumerate(points):
         matrix, fp_trials = accumulate_point(

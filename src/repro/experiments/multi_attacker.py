@@ -11,6 +11,7 @@ campaigns do not interfere.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.experiments.world import build_world
 
@@ -69,7 +70,7 @@ def run_multi_attacker_trial(
         for index in pending:
             world.verifiers[sources[index].node_id].establish_route(
                 destinations[index].address,
-                lambda outcome, index=index: outcomes.__setitem__(index, outcome),
+                partial(outcomes.__setitem__, index),
             )
         deadline = world.sim.now + 90.0
         while len(outcomes) < len(pending) and world.sim.now < deadline:

@@ -85,7 +85,7 @@ def _build(attack: str, seed: int) -> tuple[World, object, object, object]:
 
 def _stream(world, source, destination, packets: int) -> int:
     delivered = []
-    destination.aodv.add_data_sink(lambda p: delivered.append(p))
+    destination.aodv.add_data_sink(delivered.append)
     for index in range(packets):
         source.aodv.send_data(destination.address, payload=index)
         world.sim.run(until=world.sim.now + 0.05)

@@ -17,7 +17,6 @@ from repro.core.accounting import DetectionRecord
 from repro.core.verifier import VerificationOutcome
 from repro.obs import ProfileReport, TraceEvent
 from repro.experiments.config import (
-    ATTACK_COOPERATIVE,
     ATTACK_NONE,
     ATTACK_SINGLE,
     TrialConfig,
@@ -128,8 +127,151 @@ def choose_destination_cluster(config: TrialConfig) -> int:
     return min(num, attacker + 4)
 
 
-def run_trial(config: TrialConfig) -> TrialResult:
-    """Build the world, run the trial, and classify the outcome."""
+@dataclass
+class TrialSession:
+    """One seeded trial as a *resumable* object.
+
+    A session owns the fully assembled world plus the orchestration state
+    that used to live in :func:`run_trial`'s local variables (pending
+    outcomes, whether verification has been kicked off, the settle
+    deadline).  Because all of it is picklable, a session can be
+    checkpointed with :meth:`snapshot` at *any* pause point — mid
+    warm-up, mid verification — and :meth:`restore`\\ d later; running
+    the restored session to completion is byte-identical to never having
+    paused (``tests/test_snapshot_equivalence.py``).
+
+    Driving a session through :meth:`run_to`/:meth:`finish` performs
+    exactly the call sequence of the original monolithic ``run_trial``,
+    so results are unchanged.
+    """
+
+    config: TrialConfig
+    world: World
+    source: object
+    destination: object
+    background: list
+    attackers: list
+    policy_name: str
+    #: initial attacker pseudonyms (renewals are collected at finish)
+    attacker_addresses: set[str] = field(default_factory=set)
+    #: verification outcomes delivered so far (the pending callback is
+    #: ``self.outcomes.append`` — picklable, unlike a closure)
+    outcomes: list[VerificationOutcome] = field(default_factory=list)
+    verification_started: bool = False
+    #: absolute virtual time at which the settle phase ends
+    deadline: float | None = None
+
+    @property
+    def sim(self):
+        return self.world.sim
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_to(self, until: float, *, verify: bool = True) -> None:
+        """Advance the trial to absolute virtual time ``until``.
+
+        Crossing the warm-up boundary kicks off route verification at
+        exactly ``t = warmup`` (matching the monolithic driver).  Pass
+        ``verify=False`` to pause *at* the boundary without starting
+        verification — the fork-at-time seam: treatment arms diverge
+        after the shared warm-up.
+        """
+        sim = self.world.sim
+        if not self.verification_started:
+            warmup = self.config.warmup
+            sim.run(until=min(until, warmup))
+            if verify and until >= warmup:
+                self._begin_verification()
+        if until > sim.now:
+            sim.run(until=until)
+
+    def _begin_verification(self) -> None:
+        self.verification_started = True
+        self.deadline = self.world.sim.now + self.config.settle_time
+        self.world.verifiers["source"].establish_route(
+            self.destination.address, self.outcomes.append
+        )
+
+    def finish(self) -> TrialResult:
+        """Drive the remaining phases to completion and classify."""
+        if not self.verification_started:
+            self.run_to(self.config.warmup)
+        assert self.deadline is not None
+        self.run_to(self.deadline)
+        return self._classify()
+
+    # ------------------------------------------------------------------
+    # Treatments (fork-at-time arms)
+    # ------------------------------------------------------------------
+    def apply_blackdp_config(self, config) -> None:
+        """Swap the BlackDP treatment on every verifier and detector.
+
+        Only valid before verification starts: the config objects are
+        consulted lazily once detection traffic begins, never during
+        world construction or warm-up, so a forked warm world under a
+        swapped config behaves exactly like a world built with it.
+        """
+        if self.verification_started:
+            raise RuntimeError("treatment must be applied before verification")
+        self.world.blackdp_config = config
+        for verifier in self.world.verifiers.values():
+            verifier.config = config
+        for service in self.world.services:
+            service.config = config
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Serialize the entire session (world + orchestration state)."""
+        from repro.snapshot import snapshot
+
+        return snapshot(self)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "TrialSession":
+        """Rebuild a session checkpointed with :meth:`snapshot`."""
+        from repro.snapshot import restore
+
+        session = restore(blob)
+        if not isinstance(session, cls):
+            raise TypeError(f"snapshot does not hold a {cls.__name__}")
+        return session
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def _classify(self) -> TrialResult:
+        result = TrialResult(
+            attack=self.config.attack,
+            attacker_cluster=(
+                self.config.attacker_cluster if self.attackers else None
+            ),
+            policy_name=self.policy_name,
+        )
+        result.attacker_addresses = set(self.attacker_addresses)
+        # Attackers may have renewed pseudonyms during the trial.
+        for attacker in self.attackers:
+            result.attacker_addresses.add(attacker.address)
+        result.honest_addresses = {
+            vehicle.address
+            for vehicle in self.background + [self.source, self.destination]
+        }
+        result.outcome = self.outcomes[0] if self.outcomes else None
+        result.records = self.world.all_records()
+        obs = self.world.sim.obs
+        if obs.metrics is not None:
+            result.metrics = obs.metrics.snapshot()
+        if obs.trace is not None:
+            result.trace_events = list(obs.trace.events)
+        if obs.profiler is not None:
+            result.profile = obs.profiler.report()
+        return result
+
+
+def begin_trial(config: TrialConfig) -> TrialSession:
+    """Assemble a trial world (everything up to the warm-up run)."""
     world = build_world(
         seed=config.seed, config=config.blackdp, channel=config.channel
     )
@@ -170,33 +312,48 @@ def run_trial(config: TrialConfig) -> TrialResult:
                 world.add_cooperative_pair(attacker_x, teammate_x, policy=policy)
             )
 
-    result = TrialResult(
-        attack=config.attack,
-        attacker_cluster=config.attacker_cluster if attackers else None,
+    session = TrialSession(
+        config=config,
+        world=world,
+        source=source,
+        destination=destination,
+        background=background,
+        attackers=attackers,
         policy_name=policy_name,
     )
     for attacker in attackers:
-        result.attacker_addresses.add(attacker.address)
+        session.attacker_addresses.add(attacker.address)
+    return session
 
-    world.sim.run(until=config.warmup)
 
-    outcomes: list[VerificationOutcome] = []
-    world.verifiers["source"].establish_route(destination.address, outcomes.append)
-    world.sim.run(until=world.sim.now + config.settle_time)
+def run_trial(config: TrialConfig) -> TrialResult:
+    """Build the world, run the trial, and classify the outcome."""
+    return begin_trial(config).finish()
 
-    # Attackers may have renewed pseudonyms during the trial.
-    for attacker in attackers:
-        result.attacker_addresses.add(attacker.address)
-    result.honest_addresses = {
-        vehicle.address
-        for vehicle in background + [source, destination]
-    }
-    result.outcome = outcomes[0] if outcomes else None
-    result.records = world.all_records()
-    if obs.metrics is not None:
-        result.metrics = obs.metrics.snapshot()
-    if obs.trace is not None:
-        result.trace_events = list(obs.trace.events)
-    if obs.profiler is not None:
-        result.profile = obs.profiler.report()
-    return result
+
+def run_trial_arms(config: TrialConfig, arms: dict) -> dict[str, TrialResult]:
+    """Fork-at-time comparison: one warm-up, many treatment arms.
+
+    Builds and warms *one* world for ``config``, captures it at the
+    warm-up boundary, then forks an independent copy per arm — ``arms``
+    maps arm name to the :class:`~repro.core.config.BlackDpConfig`
+    treatment it runs under.  Each arm's result is identical to a cold
+    ``run_trial`` with that treatment (the treatment config is never
+    consulted before verification starts), but the N-1 redundant
+    warm-ups are skipped — the amortization ``benchmarks/
+    bench_snapshot.py`` measures.
+    """
+    import dataclasses
+
+    from repro.snapshot import ForkPoint
+
+    session = begin_trial(config)
+    session.run_to(config.warmup, verify=False)
+    point = ForkPoint(session)
+    results: dict[str, TrialResult] = {}
+    for name, treatment in arms.items():
+        forked = point.fork()
+        forked.apply_blackdp_config(treatment)
+        forked.config = dataclasses.replace(config, blackdp=treatment)
+        results[name] = forked.finish()
+    return results

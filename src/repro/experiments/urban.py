@@ -104,7 +104,7 @@ def build_urban_world(
     ta_net.assign_region("ta1", [rsu.node_id for rsu in rsus])
     for rsu in rsus:
         enrolment = ta.enroll_infrastructure(rsu.node_id, now=sim.now)
-        rsu.aodv.identity = lambda e=enrolment: (e.certificate, e.keypair.private)
+        rsu.aodv.identity = enrolment.identity
     services = [install_detection(rsu, ta_net, config) for rsu in rsus]
     return UrbanWorld(
         sim=sim,

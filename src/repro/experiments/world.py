@@ -210,7 +210,7 @@ def build_world(
     for rsu in rsus:
         authority = ta_net.authority_for_cluster(rsu.node_id)
         enrolment = authority.enroll_infrastructure(rsu.node_id, now=sim.now)
-        rsu.aodv.identity = lambda e=enrolment: (e.certificate, e.keypair.private)
+        rsu.aodv.identity = enrolment.identity
     services = [install_detection(rsu, ta_net, config) for rsu in rsus]
     return World(
         sim=sim,

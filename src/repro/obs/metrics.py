@@ -69,6 +69,19 @@ class MetricGauge:
         if value > self.high_water:
             self.high_water = value
 
+    def pin(self, value: float, high_water: float) -> None:
+        """Set the value and adopt an externally tracked peak.
+
+        For instruments whose producer maintains the true maximum
+        continuously (e.g. queue depth): deriving the peak from sampled
+        ``set`` calls would make it depend on publish cadence, so the
+        recorded high-water would change with how a run is segmented —
+        which snapshot/restore golden traces forbid.
+        """
+        self.value = value
+        if high_water > self.high_water:
+            self.high_water = high_water
+
 
 class MetricHistogram:
     """Exact count/sum/min/max plus a bounded reservoir of samples.

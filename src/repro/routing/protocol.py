@@ -121,6 +121,14 @@ class _Discovery:
     timer_event: object = None
 
 
+def _discard_result(result: DiscoveryResult) -> None:
+    """No-op discovery callback (local repair relies on the flush hook).
+
+    Module-level so pending repair discoveries stay picklable in world
+    snapshots.
+    """
+
+
 @dataclass
 class AodvStats:
     """Per-node protocol counters used by metrics and benchmarks."""
@@ -579,7 +587,7 @@ class AodvProtocol:
         if destination in self._discoveries:
             return  # someone is already looking; the flush hook delivers
         self.stats.local_repairs_started += 1
-        self.discover(destination, lambda result: None)
+        self.discover(destination, _discard_result)
 
     def _flush_repair_buffer(self, result: DiscoveryResult) -> None:
         buffered = self._repair_buffers.pop(result.destination, [])

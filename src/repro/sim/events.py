@@ -135,6 +135,11 @@ class EventQueue:
         self.wheel = wheel
         #: number of times the queue rebuilt itself to shed corpses
         self.compactions = 0
+        #: most live events ever pending at once; tracked on push so the
+        #: published peak does not depend on when metrics are sampled
+        self.high_water = 0
+        #: worst corpse fraction observed at a cancellation instant
+        self.peak_cancelled_fraction = 0.0
 
     def __len__(self) -> int:
         return self._live
@@ -166,6 +171,8 @@ class EventQueue:
         if not (wheel and self.wheel is not None and self.wheel.insert(event)):
             heappush(self._heap, (time, priority, event.sequence, event))
         self._live += 1
+        if self._live > self.high_water:
+            self.high_water = self._live
         return event
 
     # ------------------------------------------------------------------
@@ -186,6 +193,10 @@ class EventQueue:
     def _note_cancelled(self) -> None:
         self._live -= 1
         stored = self.stored
+        if stored:
+            fraction = (stored - self._live) / stored
+            if fraction > self.peak_cancelled_fraction:
+                self.peak_cancelled_fraction = fraction
         if stored >= _COMPACT_MIN_STORED and (stored - self._live) * 2 > stored:
             self.compact()
 

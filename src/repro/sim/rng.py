@@ -53,3 +53,36 @@ class RandomStreams:
         """Re-seed every existing stream back to its initial state."""
         for name in self._streams:
             self._streams[name] = random.Random(derive_seed(self.seed, name))
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def getstate(self) -> dict:
+        """Capture every stream's generator state, name-ordered.
+
+        The returned mapping is deterministic for a given set of streams
+        (names are sorted, each value is the stream's
+        ``random.Random.getstate()`` tuple) so two identical simulations
+        capture identical state, byte for byte.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {
+                name: self._streams[name].getstate()
+                for name in sorted(self._streams)
+            },
+        }
+
+    def setstate(self, state: dict) -> None:
+        """Restore a :meth:`getstate` capture.
+
+        Streams absent from ``state`` are dropped; streams present are
+        recreated and rewound, so draws after restore continue exactly
+        where the captured run left off.
+        """
+        self.seed = int(state["seed"])
+        self._streams = {}
+        for name, stream_state in state["streams"].items():
+            stream = random.Random()
+            stream.setstate(stream_state)
+            self._streams[name] = stream

@@ -250,14 +250,17 @@ class Simulator:
         if metrics is None:
             return
         queue = self.queue
-        metrics.gauge("sim.queue.pending").set(len(queue))
+        metrics.gauge("sim.queue.pending").pin(len(queue), queue.high_water)
         metrics.gauge("sim.queue.compactions").set(queue.compactions)
-        metrics.gauge("sim.queue.cancelled_fraction").set(
-            round(queue.cancelled_fraction, 6)
+        metrics.gauge("sim.queue.cancelled_fraction").pin(
+            round(queue.cancelled_fraction, 6),
+            round(queue.peak_cancelled_fraction, 6),
         )
         wheel = queue.wheel
         if wheel is not None:
-            metrics.gauge("sim.wheel.pending").set(wheel.stored)
+            metrics.gauge("sim.wheel.pending").pin(
+                wheel.stored, wheel.stored_high_water
+            )
             metrics.gauge("sim.wheel.flushed").set(wheel.flushed)
             metrics.gauge("sim.wheel.pruned").set(wheel.pruned)
 

@@ -63,6 +63,7 @@ class TimerWheel:
         "_cursor",
         "_near_count",
         "stored",
+        "stored_high_water",
         "flushed",
         "pruned",
     )
@@ -89,6 +90,9 @@ class TimerWheel:
         self.frontier = 0.0
         #: entries currently filed (live + cancelled corpses)
         self.stored = 0
+        #: most entries ever filed at once; tracked on insert so the
+        #: published peak is independent of metrics sampling cadence
+        self.stored_high_water = 0
         #: live entries migrated into the heap over the wheel's lifetime
         self.flushed = 0
         #: cancelled entries dropped without ever touching the heap
@@ -114,6 +118,8 @@ class TimerWheel:
         else:
             self._far.setdefault(window, []).append(event)
         self.stored += 1
+        if self.stored > self.stored_high_water:
+            self.stored_high_water = self.stored
         return True
 
     # ------------------------------------------------------------------

@@ -1,0 +1,50 @@
+"""Deterministic world snapshots: checkpoint, restore, fork-at-time.
+
+Public API:
+
+- :func:`snapshot` / :func:`restore` — full-world serialization with a
+  golden-trace guarantee (restore-then-run ≡ run-straight-through).
+- :func:`snapshot_info` — header metadata without deserializing.
+- :class:`ForkPoint` — capture a warmed world once, fork it per
+  treatment arm.
+- :data:`SNAPSHOT_SCHEMA` and the error taxonomy.
+
+See ``docs/checkpointing.md`` for the format and the rules that keep
+world state serializable.
+"""
+
+from repro.snapshot.codec import (
+    PICKLE_PROTOCOL,
+    SNAPSHOT_SCHEMA,
+    SnapshotError,
+    SnapshotInfo,
+    SnapshotIntegrityError,
+    SnapshotPicklingError,
+    SnapshotSchemaError,
+    stable_digest,
+)
+from repro.snapshot.state import (
+    ForkPoint,
+    apply_globals,
+    capture_globals,
+    restore,
+    snapshot,
+    snapshot_info,
+)
+
+__all__ = [
+    "PICKLE_PROTOCOL",
+    "SNAPSHOT_SCHEMA",
+    "SnapshotError",
+    "SnapshotInfo",
+    "SnapshotIntegrityError",
+    "SnapshotPicklingError",
+    "SnapshotSchemaError",
+    "ForkPoint",
+    "apply_globals",
+    "capture_globals",
+    "restore",
+    "snapshot",
+    "snapshot_info",
+    "stable_digest",
+]

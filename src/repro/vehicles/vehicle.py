@@ -69,7 +69,7 @@ class VehicleNode(Node):
         if enrolment is not None:
             self._address = enrolment.certificate.subject_id
         self.aodv = self._make_aodv(aodv_config)
-        self.aodv.cluster_info = lambda: self.current_cluster or 0
+        self.aodv.cluster_info = self._cluster_info
         #: revoked pseudonyms this vehicle has been warned about
         self.blacklist: set[str] = set()
         self.current_cluster: int | None = None
@@ -82,6 +82,11 @@ class VehicleNode(Node):
     def _make_aodv(self, config: AodvConfig | None) -> AodvProtocol:
         """AODV factory; attack subclasses swap in malicious variants."""
         return AodvProtocol(self, config, identity=self.identity)
+
+    def _cluster_info(self) -> int:
+        """AODV's cluster hook; a bound method (not a lambda) so that a
+        live vehicle remains snapshot-serializable."""
+        return self.current_cluster or 0
 
     # ------------------------------------------------------------------
     # Identity
