@@ -658,6 +658,16 @@ class DetectionService:
     def _on_revocation_notice(self, packet: RevocationNoticePacket, sender: str) -> None:
         fresh = [entry for entry in packet.entries if self.crl.add(entry)]
         if fresh:
+            obs = self.sim.obs
+            if obs.trace is not None:
+                # The propagation half of the detection timeline: this
+                # CH just adopted the revocation into its CRL.
+                for entry in fresh:
+                    obs.trace.emit(
+                        self.rsu.node_id,
+                        "exam.revoke_rx",
+                        cause=f"suspect:{entry.subject_id}",
+                    )
             self.rsu.aodv.table.flush()
             self._warn_members([entry.subject_id for entry in fresh])
         if packet.hops_remaining > 0:

@@ -494,6 +494,16 @@ class RouteVerifier:
         fresh = [r for r in revoked_ids if r not in self.vehicle.blacklist]
         if not fresh:
             return
+        obs = self.vehicle.sim.obs
+        if obs.trace is not None:
+            # Vehicle-side isolation: the verdict reached this node and
+            # its replies will be ignored from now on.
+            for revoked in fresh:
+                obs.trace.emit(
+                    self.vehicle.node_id,
+                    "verify.blacklist",
+                    cause=f"suspect:{revoked}",
+                )
         self.vehicle.blacklist.update(fresh)
         self.vehicle.aodv.table.flush()
 

@@ -7,16 +7,23 @@ Usage::
     python -m repro.experiments figure5
     python -m repro.experiments ablations
     python -m repro.experiments trial [--metrics] [--trace PATH] [--profile]
+                                      [--sample-interval S] [--serve-metrics PORT]
+    python -m repro.experiments top --dir DIR   # live view of a campaign ledger
 
 ``figure4``, ``figure5``, ``ablations``, ``report`` and ``run`` accept
 ``--jobs N`` (worker processes; output is byte-identical to ``--jobs 1``)
 and ``--cache-dir DIR`` (content-addressed trial result cache).
+``campaign run``/``resume`` additionally accept ``--watch`` (in-place
+progress line fed by streamed worker events) and ``--serve-metrics PORT``
+(live OpenMetrics endpoint for the duration of the run).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.experiments.config import ATTACK_TYPES, TableIConfig
 
@@ -149,40 +156,78 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_trial(args: argparse.Namespace) -> int:
     from repro.experiments.config import TrialConfig
-    from repro.experiments.trial import run_trial
+    from repro.experiments.trial import begin_trial
 
+    serving = args.serve_metrics is not None
     try:
         config = TrialConfig(
             seed=args.seed,
             attack=args.attack,
             attacker_cluster=args.cluster,
-            metrics=args.metrics,
+            metrics=args.metrics or serving,
             trace=args.trace is not None,
             profile=args.profile,
+            sample_interval=args.sample_interval,
         )
     except ValueError as error:
         print(f"invalid trial configuration: {error}", file=sys.stderr)
         return 2
-    result = run_trial(config)
-    print(f"attack={result.attack} policy={result.policy_name} "
-          f"detected={result.detected} fp={result.false_positive}")
-    if result.metrics is not None:
-        print("\ncounters:")
-        for key, value in sorted(result.metrics.items()):
-            if isinstance(value, int) and value:
-                print(f"  {key:<48} {value}")
-    if result.trace_events is not None and args.trace is not None:
-        try:
-            with open(args.trace, "w") as sink:
-                for event in result.trace_events:
-                    sink.write(event.to_json() + "\n")
-        except OSError as error:
-            print(f"cannot write trace: {error}", file=sys.stderr)
-            return 2
-        print(f"\ntrace: {len(result.trace_events)} events -> {args.trace}")
-    if result.profile is not None:
-        print("\nrun profile:")
-        print(result.profile.format())
+    session = begin_trial(config)
+    server = None
+    if serving:
+        from repro.obs import serve_metrics
+
+        live = {"phase": "running", "seed": config.seed, "attack": config.attack}
+
+        def _status() -> dict:
+            return dict(live, sim_time=session.sim.now)
+
+        server = serve_metrics(
+            session.sim.obs.metrics, args.serve_metrics, status_fn=_status
+        )
+        print(f"serving {server.url}/metrics while the trial runs", flush=True)
+    try:
+        result = session.finish()
+        if server is not None:
+            live["phase"] = "finished"
+        print(f"attack={result.attack} policy={result.policy_name} "
+              f"detected={result.detected} fp={result.false_positive}")
+        if result.metrics is not None and args.metrics:
+            print("\ncounters:")
+            for key, value in sorted(result.metrics.items()):
+                if isinstance(value, int) and value:
+                    print(f"  {key:<48} {value}")
+        if result.trace_events is not None and args.trace is not None:
+            try:
+                with open(args.trace, "w") as sink:
+                    for event in result.trace_events:
+                        sink.write(event.to_json() + "\n")
+            except OSError as error:
+                print(f"cannot write trace: {error}", file=sys.stderr)
+                return 2
+            print(f"\ntrace: {len(result.trace_events)} events -> {args.trace}")
+        if result.timelines:
+            from repro.obs import format_timelines
+
+            print("\ndetection timelines:")
+            print(format_timelines(result.timelines))
+        if result.series is not None:
+            points = sum(len(p) for p in result.series.values())
+            print(f"\ntime series: {len(result.series)} metrics, "
+                  f"{points} points at {config.sample_interval}s cadence")
+            if args.series is not None:
+                session.sim.obs.timeseries.write_jsonl(args.series)
+                print(f"  -> {args.series}")
+        if result.profile is not None:
+            print("\nrun profile:")
+            print(result.profile.format())
+        if server is not None and args.hold > 0:
+            print(f"\nholding the metrics endpoint for {args.hold:.0f}s "
+                  f"at {server.url}/metrics", flush=True)
+            time.sleep(args.hold)
+    finally:
+        if server is not None:
+            server.close()
     return 0
 
 
@@ -191,9 +236,44 @@ def _campaign_progress(status) -> None:
 
 
 def _finish_campaign(campaign, args: argparse.Namespace) -> int:
-    status = campaign.run(
-        jobs=args.jobs, batch=args.batch, progress=_campaign_progress
-    )
+    watch = getattr(args, "watch", False)
+    port = getattr(args, "serve_metrics", None)
+    stream = registry = server = None
+    if watch or port is not None:
+        if port is not None:
+            from repro.obs import MetricsRegistry
+
+            registry = MetricsRegistry()
+        stream = campaign.make_aggregator(metrics=registry)
+        if watch:
+            from repro.experiments.progress import progress_line
+
+            def _render(event) -> None:
+                if event.kind in ("unit-done", "batch", "campaign-done"):
+                    print(f"\r{progress_line(stream.status_dict())}   ",
+                          end="", flush=True)
+
+            stream.listener = _render
+        if port is not None:
+            from repro.obs import serve_metrics
+
+            server = serve_metrics(
+                registry, port, status_fn=lambda: campaign.status().to_dict()
+            )
+            print(f"serving {server.url}/metrics while the campaign runs",
+                  flush=True)
+    try:
+        status = campaign.run(
+            jobs=args.jobs,
+            batch=args.batch,
+            progress=None if watch else _campaign_progress,
+            stream=stream,
+        )
+    finally:
+        if watch:
+            print()
+        if server is not None:
+            server.close()
     print(status.format())
     if campaign.manifest["spec"].get("kind") == "figure4":
         from repro.experiments.figure4 import figure4_rows, format_figure4
@@ -255,11 +335,33 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     try:
         campaign = Campaign.open(args.dir)
     except CampaignError as error:
-        print(f"cannot read campaign: {error}", file=sys.stderr)
+        if args.json:
+            print(json.dumps({"error": str(error)}))
+        else:
+            print(f"cannot read campaign: {error}", file=sys.stderr)
         return 2
     status = campaign.status()
-    print(status.format())
+    if args.json:
+        print(json.dumps(status.to_dict(), sort_keys=True))
+    else:
+        print(status.format())
     return 0 if status.done else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.experiments.progress import load_ledger_view, render_top
+
+    while True:
+        view = load_ledger_view(args.dir)
+        screen = render_top(view)
+        if args.once:
+            print(screen)
+            return 0
+        # Full-screen refresh: clear, home, redraw.
+        print(f"\x1b[2J\x1b[H{screen}", flush=True)
+        if view.complete:
+            return 0
+        time.sleep(args.interval)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -331,11 +433,35 @@ def main(argv: list[str] | None = None) -> int:
     campaign_resume.add_argument("--jobs", type=int, default=1, metavar="N")
     campaign_resume.add_argument("--batch", type=int, default=50, metavar="N")
     campaign_resume.set_defaults(func=_cmd_campaign_resume)
+    for streaming in (campaign_run, campaign_resume):
+        streaming.add_argument(
+            "--watch", action="store_true",
+            help="render an in-place progress line from streamed events",
+        )
+        streaming.add_argument(
+            "--serve-metrics", type=int, default=None, metavar="PORT",
+            help="serve a live OpenMetrics endpoint while the campaign runs",
+        )
     campaign_status = campaign_sub.add_parser(
         "status", help="report journaled progress of a campaign directory"
     )
     campaign_status.add_argument("--dir", required=True, metavar="DIR")
+    campaign_status.add_argument(
+        "--json", action="store_true", help="machine-readable status"
+    )
     campaign_status.set_defaults(func=_cmd_campaign_status)
+    top = sub.add_parser(
+        "top", help="live view of a campaign ledger (streamed events feed)"
+    )
+    top.add_argument("--dir", required=True, metavar="DIR")
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="refresh cadence in seconds",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    top.set_defaults(func=_cmd_top)
     run = sub.add_parser("run", help="run a JSON scenario file")
     run.add_argument("--config", required=True)
     _add_parallel_args(run)
@@ -354,6 +480,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     trial.add_argument(
         "--profile", action="store_true", help="print the run profile"
+    )
+    trial.add_argument(
+        "--sample-interval", type=float, default=0.0, metavar="S",
+        help="sample metrics into time series every S sim-seconds",
+    )
+    trial.add_argument(
+        "--series", metavar="PATH", default=None,
+        help="write the sampled time series as JSONL (needs --sample-interval)",
+    )
+    trial.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /healthz and /status while the trial runs "
+             "(port 0 binds an ephemeral port)",
+    )
+    trial.add_argument(
+        "--hold", type=float, default=0.0, metavar="S",
+        help="keep the metrics endpoint up S seconds after the trial",
     )
     trial.set_defaults(func=_cmd_trial)
     args = parser.parse_args(argv)

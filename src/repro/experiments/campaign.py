@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -51,6 +52,7 @@ from repro.experiments.executor import (
     append_jsonl_line,
     trial_cache_key,
 )
+from repro.experiments.progress import ProgressAggregator, ProgressEvent
 
 #: Bump when the manifest/journal shape changes incompatibly; stale
 #: ledgers are then rejected instead of misread.
@@ -134,6 +136,18 @@ class CampaignStatus:
     @property
     def done(self) -> bool:
         return self.completed >= self.total
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``blackdp campaign status --json``)."""
+        return {
+            "name": self.name,
+            "directory": self.directory,
+            "total": self.total,
+            "completed": self.completed,
+            "remaining": self.remaining,
+            "done": self.done,
+            "corrupt_lines": self.corrupt_lines,
+        }
 
     def format(self) -> str:
         state = "complete" if self.done else f"{self.remaining} remaining"
@@ -289,6 +303,27 @@ class Campaign:
             corrupt_lines=self.corrupt_lines,
         )
 
+    @property
+    def events_path(self) -> Path:
+        """The streamed progress feed (``events.jsonl``) in this ledger."""
+        return self.directory / "events.jsonl"
+
+    def make_aggregator(self, *, metrics=None, listener=None) -> ProgressAggregator:
+        """A streaming sink wired to this ledger's ``events.jsonl`` feed.
+
+        Pass the result as ``run(stream=...)``: worker heartbeats and
+        completions then append to the feed live (``blackdp top`` tails
+        it), publish ``exec.progress.*`` gauges into ``metrics`` when
+        given, and invoke ``listener`` per event (the ``--watch``
+        renderer).
+        """
+        return ProgressAggregator(
+            total=len(self.configs),
+            events_path=self.events_path,
+            metrics=metrics,
+            listener=listener,
+        )
+
     def results(self) -> list[TrialSummary]:
         """All summaries in unit order; raises unless complete."""
         if len(self.completed) < len(self.configs):
@@ -308,6 +343,7 @@ class Campaign:
         batch: int = DEFAULT_BATCH,
         executor: TrialExecutor | None = None,
         progress: Callable[[CampaignStatus], None] | None = None,
+        stream: ProgressAggregator | None = None,
     ) -> CampaignStatus:
         """Run (or continue) the campaign until every unit is journaled.
 
@@ -316,11 +352,31 @@ class Campaign:
         costs at most one batch minus whatever the cache caught.  A
         SIGINT journals the drained partial batch, checkpoints, and
         re-raises as :class:`TrialRunInterrupted`.
+
+        ``stream`` (see :meth:`make_aggregator`) turns on live
+        telemetry: when no ``executor`` is supplied the one built here
+        pushes per-unit worker events into it, and the campaign itself
+        marks every journaled batch (and completion) in the feed.
         """
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         if executor is None:
-            executor = TrialExecutor(jobs=jobs, cache_dir=self.cache_dir)
+            executor = TrialExecutor(
+                jobs=jobs, cache_dir=self.cache_dir, progress=stream
+            )
+
+        def _mark(kind: str) -> None:
+            if stream is not None:
+                stream(
+                    ProgressEvent(
+                        kind=kind,
+                        worker=os.getpid(),
+                        wall=time.time(),
+                        done=len(self.completed),
+                        total=len(self.configs),
+                    )
+                )
+
         pending = [
             (index, config)
             for index, config in enumerate(self.configs)
@@ -337,11 +393,14 @@ class Campaign:
                     if summary is not None:
                         self._journal_unit(index, summary)
                 self._write_checkpoint()
+                _mark("batch")
                 raise
             for (index, _), summary in zip(slice_, summaries):
                 self._journal_unit(index, summary)
             self._write_checkpoint()
+            _mark("batch")
             if progress is not None:
                 progress(self.status())
         self._write_checkpoint()
+        _mark("campaign-done")
         return self.status()

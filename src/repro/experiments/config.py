@@ -112,6 +112,9 @@ class TrialConfig:
     metrics: bool = False
     trace: bool = False
     profile: bool = False
+    #: sample the metrics registry into per-metric time series at this
+    #: virtual-time cadence (seconds); 0 disables.  Implies ``metrics``.
+    sample_interval: float = 0.0
     #: channel override (None = defaults); used e.g. to A/B the spatial
     #: neighbour index (``ChannelConfig(spatial_index=False)``)
     channel: ChannelConfig | None = None

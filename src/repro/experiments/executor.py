@@ -39,6 +39,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import threading
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -46,6 +47,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.experiments.config import ATTACK_NONE, TrialConfig
+from repro.experiments.progress import ProgressEvent
 
 #: Bump when the summary fields or the canonical config encoding change;
 #: old cache entries then miss instead of deserialising garbage.
@@ -181,7 +183,7 @@ def trial_cache_key(config: TrialConfig) -> str:
     simulation outcome, and summaries never carry their payloads.
     """
     payload = _canonical(config)
-    for obs_only in ("metrics", "trace", "profile"):
+    for obs_only in ("metrics", "trace", "profile", "sample_interval"):
         payload.pop(obs_only, None)
     payload["schema"] = CACHE_SCHEMA
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -246,17 +248,64 @@ class ResultCache:
 # ----------------------------------------------------------------------
 # Worker-side entry points (module-level so they pickle by reference)
 # ----------------------------------------------------------------------
-def _worker_warmup() -> None:
+#: Worker-side progress channel: an ``mp.Queue`` (pool workers, set by
+#: the warm-up initializer) or an :class:`_InlineProgressChannel`
+#: (in-process runs).  ``None`` disables emission entirely — the single
+#: cheap check streaming adds to the unstreamed trial path.
+_progress_queue = None
+
+
+class _InlineProgressChannel:
+    """Queue-shaped shim that delivers straight to the parent's sink.
+
+    In-process runs (``jobs=1``, inline fallback) have no worker/parent
+    boundary, so the "queue" is a synchronous call.
+    """
+
+    __slots__ = ("_sink",)
+
+    def __init__(self, sink) -> None:
+        self._sink = sink
+
+    def put_nowait(self, record: dict) -> None:
+        self._sink(ProgressEvent.from_dict(record))
+
+
+def _notify_progress(kind: str, **fields) -> None:
+    """Emit one progress record from a worker, if streaming is on.
+
+    Best-effort by design: a full/broken channel must never fail the
+    trial it is narrating.
+    """
+    queue = _progress_queue
+    if queue is None:
+        return
+    record = {"kind": kind, "worker": os.getpid(), "wall": time.time()}
+    record.update(fields)
+    try:
+        queue.put_nowait(record)
+    except Exception:
+        pass
+
+
+def _worker_warmup(progress_queue=None) -> None:
     """Pre-import the trial machinery and touch the Table I config so a
     worker's first unit does not pay setup cost.
 
     Workers also ignore SIGINT: a Ctrl-C in the parent then *drains* —
     in-flight chunks finish and are harvested — instead of killing the
     pool mid-trial and losing everything it was holding.
+
+    ``progress_queue`` (always passed, possibly ``None``) becomes the
+    worker's streaming channel; passing it through the initializer also
+    *clears* any channel a forked worker inherited from the parent.
     """
     import signal
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    global _progress_queue
+    _progress_queue = progress_queue
 
     from repro.experiments.config import TableIConfig
     from repro.experiments import trial, world  # noqa: F401
@@ -271,7 +320,17 @@ def _run_trial_chunk(items):
     started = time.perf_counter()
     out = []
     for index, config in items:
-        out.append((index, summarize_trial(config, run_trial(config))))
+        _notify_progress("unit-start", unit=index, seed=config.seed)
+        unit_started = time.perf_counter()
+        summary = summarize_trial(config, run_trial(config))
+        out.append((index, summary))
+        _notify_progress(
+            "unit-done",
+            unit=index,
+            seed=config.seed,
+            elapsed=time.perf_counter() - unit_started,
+            detected=summary.detected,
+        )
     return os.getpid(), time.perf_counter() - started, out
 
 
@@ -358,6 +417,14 @@ class TrialExecutor:
     metrics:
         Optional :class:`repro.obs.MetricsRegistry`; the executor then
         maintains ``exec.*`` counters and per-worker utilization gauges.
+    progress:
+        Optional streaming sink — any callable taking a
+        :class:`~repro.experiments.progress.ProgressEvent` (typically a
+        :class:`~repro.experiments.progress.ProgressAggregator`).
+        Workers then push per-unit start/completion events over a
+        multiprocessing queue and the sink sees them *live*, not when
+        the chunk returns.  Purely observational: result values and
+        ordering are identical with or without a sink.
     """
 
     def __init__(
@@ -368,6 +435,7 @@ class TrialExecutor:
         chunk_size: int = 0,
         retries: int = 1,
         metrics=None,
+        progress=None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -377,6 +445,7 @@ class TrialExecutor:
         self.chunk_size = chunk_size
         self.retries = retries
         self.metrics = metrics
+        self.progress = progress
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.stats = ExecutorStats()
 
@@ -395,6 +464,18 @@ class TrialExecutor:
             if cached is not None:
                 results[index] = cached
                 self.stats.cache_hits += 1
+                if self.progress is not None:
+                    self.progress(
+                        ProgressEvent(
+                            kind="unit-done",
+                            unit=index,
+                            seed=config.seed,
+                            worker=os.getpid(),
+                            wall=time.time(),
+                            cached=True,
+                            detected=cached.detected,
+                        )
+                    )
             else:
                 pending.append((index, config))
                 if self.cache is not None:
@@ -500,38 +581,88 @@ class TrialExecutor:
                 self.stats.worker_busy[pid] = previous + busy
                 out.extend(chunk_out)
 
-        with ProcessPoolExecutor(
-            max_workers=self.jobs,
-            mp_context=_pool_context(),
-            initializer=_worker_warmup,
-        ) as pool:
-            futures = {
-                pool.submit(chunk_runner, chunk): chunk for chunk in chunks
-            }
-            try:
-                for future in as_completed(futures):
-                    consumed.add(future)
-                    _collect(future, futures[future])
-            except KeyboardInterrupt:
-                # Drain, don't discard: queued chunks are cancelled,
-                # in-flight chunks run to completion (workers ignore
-                # SIGINT) and their results are harvested before the
-                # interrupt continues unwinding.
-                for future in futures:
-                    future.cancel()
-                pool.shutdown(wait=True)
-                for future, chunk in futures.items():
-                    if future in consumed or future.cancelled():
-                        continue
-                    if future.done():
-                        _collect(future, chunk)
-                raise
+        queue, drainer = self._start_progress_drain()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=_pool_context(),
+                initializer=_worker_warmup,
+                initargs=(queue,),
+            ) as pool:
+                futures = {
+                    pool.submit(chunk_runner, chunk): chunk for chunk in chunks
+                }
+                try:
+                    for future in as_completed(futures):
+                        consumed.add(future)
+                        _collect(future, futures[future])
+                except KeyboardInterrupt:
+                    # Drain, don't discard: queued chunks are cancelled,
+                    # in-flight chunks run to completion (workers ignore
+                    # SIGINT) and their results are harvested before the
+                    # interrupt continues unwinding.
+                    for future in futures:
+                        future.cancel()
+                    pool.shutdown(wait=True)
+                    for future, chunk in futures.items():
+                        if future in consumed or future.cancelled():
+                            continue
+                        if future.done():
+                            _collect(future, chunk)
+                    raise
+        finally:
+            self._stop_progress_drain(queue, drainer)
         return failed
+
+    def _start_progress_drain(self):
+        """Spin up the parent-side queue drainer for one pool generation.
+
+        Returns ``(queue, thread)`` — both ``None`` when no sink is
+        attached, in which case workers see ``progress_queue=None`` and
+        emission stays a single no-op check.
+        """
+        if self.progress is None:
+            return None, None
+        context = _pool_context() or multiprocessing
+        queue = context.Queue()
+
+        def _drain() -> None:
+            while True:
+                record = queue.get()
+                if record is None:
+                    return
+                try:
+                    self.progress(ProgressEvent.from_dict(record))
+                except Exception:
+                    pass  # streaming is best-effort, never fails the run
+
+        thread = threading.Thread(
+            target=_drain, name="trial-progress-drain", daemon=True
+        )
+        thread.start()
+        return queue, thread
+
+    @staticmethod
+    def _stop_progress_drain(queue, drainer) -> None:
+        if queue is None:
+            return
+        try:
+            queue.put(None)  # sentinel: drain what's buffered, then stop
+            drainer.join(timeout=5.0)
+        finally:
+            queue.close()
 
     def _run_inline(
         self, items: list, chunk_runner: Callable, *, fallback: bool
     ) -> list:
-        pid, busy, out = chunk_runner(items)
+        global _progress_queue
+        saved = _progress_queue
+        if self.progress is not None:
+            _progress_queue = _InlineProgressChannel(self.progress)
+        try:
+            pid, busy, out = chunk_runner(items)
+        finally:
+            _progress_queue = saved
         if not fallback:
             # In-process runs still feed the utilization ledger so
             # ``jobs=1`` stats read sensibly (one worker, ~100% busy).

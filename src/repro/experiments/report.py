@@ -179,6 +179,32 @@ def generate_report(
             f"net packets sent: {packets_sent}", "```", "",
         ]
 
+    # Detection timeline ----------------------------------------------
+    from repro.obs import format_timelines
+
+    traced = run_trial(
+        TrialConfig(seed=7, attack="cooperative", trace=True)
+    )
+    if not traced.timelines:
+        failures.append("traced cooperative trial produced no timelines")
+    else:
+        save_csv(
+            "timelines.csv",
+            csv_rows(
+                ["suspect", "verdict", "time_to_detection", "time_to_isolation",
+                 "probes", "propagated_to"],
+                [
+                    (t.suspect, t.verdict or "", t.time_to_detection,
+                     t.time_to_isolation, t.probes, len(t.propagated_to))
+                    for t in traced.timelines
+                ],
+            ),
+        )
+        sections += [
+            "## Detection timeline (one cooperative-attack trial, seed 7)",
+            "```", format_timelines(traced.timelines), "```", "",
+        ]
+
     # PDR + urban -----------------------------------------------------
     pdr = run_pdr(parallel=parallel)
     save_csv("pdr.csv", pdr_csv(pdr))

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.attacks import AttackerPolicy
 from repro.core.accounting import DetectionRecord
 from repro.core.verifier import VerificationOutcome
-from repro.obs import ProfileReport, TraceEvent
+from repro.obs import DetectionTimeline, ProfileReport, TraceEvent, reconstruct_timelines
 from repro.experiments.config import (
     ATTACK_NONE,
     ATTACK_SINGLE,
@@ -43,6 +43,16 @@ class TrialResult:
     trace_events: list[TraceEvent] | None = None
     #: populated when :attr:`TrialConfig.profile` is set
     profile: ProfileReport | None = None
+    #: populated when :attr:`TrialConfig.sample_interval` > 0: columnar
+    #: ``{name: [value, ...]}`` time series, one value per sample tick;
+    #: a series that appeared mid-run aligns with the *tail* of
+    #: :attr:`series_times`
+    series: dict | None = None
+    #: sample-tick timestamps shared by every entry in :attr:`series`
+    series_times: list | None = None
+    #: populated when :attr:`TrialConfig.trace` is set: per-suspect
+    #: detection narratives with time-to-detection/-isolation
+    timelines: list[DetectionTimeline] | None = None
 
     # ------------------------------------------------------------------
     # Derived classifications
@@ -86,6 +96,28 @@ class TrialResult:
     def detection_packets(self) -> int | None:
         """Packets of the (first) completed detection, Figure 5's metric."""
         return self.records[0].packets if self.records else None
+
+    @property
+    def detection_delays(self) -> list[float]:
+        """Time-to-detection of every convicted case (needs ``trace``)."""
+        if not self.timelines:
+            return []
+        return [
+            t.time_to_detection
+            for t in self.timelines
+            if t.convicted and t.time_to_detection is not None
+        ]
+
+    @property
+    def isolation_delays(self) -> list[float]:
+        """Time-to-isolation of every convicted case (needs ``trace``)."""
+        if not self.timelines:
+            return []
+        return [
+            t.time_to_isolation
+            for t in self.timelines
+            if t.convicted and t.time_to_isolation is not None
+        ]
 
 
 #: Evasive-policy mix for the renewal zone (clusters 8-10).  Names are
@@ -265,8 +297,12 @@ class TrialSession:
             result.metrics = obs.metrics.snapshot()
         if obs.trace is not None:
             result.trace_events = list(obs.trace.events)
+            result.timelines = reconstruct_timelines(result.trace_events)
         if obs.profiler is not None:
             result.profile = obs.profiler.report()
+        if obs.timeseries is not None:
+            result.series = obs.timeseries.to_values()
+            result.series_times = obs.timeseries.tick_times
         return result
 
 
@@ -282,6 +318,8 @@ def begin_trial(config: TrialConfig) -> TrialSession:
         obs.enable_trace()
     if config.profile:
         obs.enable_profiler()
+    if config.sample_interval > 0:
+        obs.enable_timeseries(interval=config.sample_interval)
     rng = world.sim.rng("trial")
     highway = world.highway
 

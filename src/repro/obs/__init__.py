@@ -24,6 +24,11 @@ Instrumented layers: ``repro.net`` (per-kind send/deliver/drop),
 
 from __future__ import annotations
 
+from repro.obs.export import (
+    MetricsServer,
+    render_openmetrics,
+    serve_metrics,
+)
 from repro.obs.metrics import (
     MetricCounter,
     MetricGauge,
@@ -31,6 +36,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profiler import LabelCost, ProfileReport, RunProfiler
+from repro.obs.timeline import (
+    DetectionTimeline,
+    TimelineStats,
+    format_timelines,
+    reconstruct_timelines,
+    timeline_stats,
+)
+from repro.obs.timeseries import MetricSeries, TimeSeriesRecorder
 from repro.obs.trace import TraceCollector, TraceEvent, TraceFilter
 
 
@@ -42,13 +55,14 @@ class Observability:
     and CLIs can enable mid-run.
     """
 
-    __slots__ = ("_simulator", "metrics", "trace", "profiler")
+    __slots__ = ("_simulator", "metrics", "trace", "profiler", "timeseries")
 
     def __init__(self, simulator) -> None:
         self._simulator = simulator
         self.metrics: MetricsRegistry | None = None
         self.trace: TraceCollector | None = None
         self.profiler: RunProfiler | None = None
+        self.timeseries: TimeSeriesRecorder | None = None
 
     # ------------------------------------------------------------------
     # Switches
@@ -68,11 +82,28 @@ class Observability:
             self.profiler = RunProfiler(**kwargs)
         return self.profiler
 
+    def enable_timeseries(self, **kwargs) -> TimeSeriesRecorder:
+        """Start sampling the metrics registry at a virtual-time cadence.
+
+        Implies :meth:`enable_metrics` (there is nothing to sample
+        otherwise); the recorder's first tick lands on the next
+        interval-grid boundary.
+        """
+        if self.timeseries is None:
+            self.enable_metrics()
+            self.timeseries = TimeSeriesRecorder(
+                self._simulator, **kwargs
+            ).start()
+        return self.timeseries
+
     def disable(self) -> None:
         """Detach every collector (existing data is discarded)."""
         self.metrics = None
         self.trace = None
         self.profiler = None
+        if self.timeseries is not None:
+            self.timeseries.stop()
+        self.timeseries = None
 
     @property
     def enabled(self) -> bool:
@@ -80,19 +111,30 @@ class Observability:
             self.metrics is not None
             or self.trace is not None
             or self.profiler is not None
+            or self.timeseries is not None
         )
 
 
 __all__ = [
+    "DetectionTimeline",
     "LabelCost",
     "MetricCounter",
     "MetricGauge",
     "MetricHistogram",
+    "MetricSeries",
     "MetricsRegistry",
+    "MetricsServer",
     "Observability",
     "ProfileReport",
     "RunProfiler",
+    "TimeSeriesRecorder",
+    "TimelineStats",
     "TraceCollector",
     "TraceEvent",
     "TraceFilter",
+    "format_timelines",
+    "reconstruct_timelines",
+    "render_openmetrics",
+    "serve_metrics",
+    "timeline_stats",
 ]

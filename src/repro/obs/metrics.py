@@ -22,7 +22,11 @@ call entirely when they are not (see :class:`repro.obs.Observability`).
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Iterator
+
+#: Default seed material for registry-owned histogram reservoirs.
+DEFAULT_RESERVOIR_SEED = 0x0B5
 
 #: Label tuple type used as part of the registry key.
 Labels = tuple[tuple[str, str], ...]
@@ -100,7 +104,11 @@ class MetricHistogram:
         self.max = float("-inf")
         self._reservoir: list[float] = []
         self._size = reservoir_size
-        self._rng = rng or random.Random(0x0B5)
+        # A dedicated RNG, never the process-global ``random`` module:
+        # reservoir draws must not perturb (or be perturbed by) anything
+        # else, and ``random.Random`` state pickles, so a snapshotted
+        # registry resumes its reservoir exactly where it paused.
+        self._rng = rng or random.Random(DEFAULT_RESERVOIR_SEED)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -153,11 +161,14 @@ class MetricsRegistry:
     1
     """
 
-    def __init__(self, *, reservoir_size: int = 512) -> None:
+    def __init__(
+        self, *, reservoir_size: int = 512, seed: int = DEFAULT_RESERVOIR_SEED
+    ) -> None:
         self._counters: dict[tuple[str, Labels], MetricCounter] = {}
         self._gauges: dict[tuple[str, Labels], MetricGauge] = {}
         self._histograms: dict[tuple[str, Labels], MetricHistogram] = {}
         self._reservoir_size = reservoir_size
+        self._seed = seed
 
     # ------------------------------------------------------------------
     # Instrument access (creating on first use)
@@ -180,7 +191,17 @@ class MetricsRegistry:
         key = _key(name, labels)
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = MetricHistogram(self._reservoir_size)
+            # Each histogram draws from its own RNG, seeded from the
+            # registry seed and the instrument's rendered key: the
+            # reservoir of one instrument is then independent of the
+            # creation and observation order of every other, identical
+            # across runs, processes and snapshot/restore.
+            rng = random.Random(
+                self._seed ^ zlib.crc32(format_key(key).encode())
+            )
+            instrument = self._histograms[key] = MetricHistogram(
+                self._reservoir_size, rng=rng
+            )
         return instrument
 
     # ------------------------------------------------------------------

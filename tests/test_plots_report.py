@@ -74,8 +74,9 @@ def test_report_generation_end_to_end(tmp_path):
     assert "## Figure 4" in content
     assert "## Figure 5" in content
     assert "## Ablations" in content
+    assert "## Detection timeline" in content
     assert "## Verdict" in content
-    assert len(result.csv_paths) == 4
+    assert len(result.csv_paths) == 5
     for path in result.csv_paths:
         assert path.exists()
         assert path.read_text().count("\n") >= 2
