@@ -1,0 +1,279 @@
+"""Sketch monitors vs the per-suspect probe protocol: cost scaling.
+
+The point of the aggregate monitor is *line-rate* observation: per
+overheard packet it does O(depth) sketch updates regardless of how many
+vehicles (or attackers) are present, where the probe protocol keeps one
+open ``_ExamCase`` per suspect and scans them linearly on every probe
+reply.  Two scaling series make that concrete:
+
+- **monitor** — microseconds per overheard packet as the number of
+  distinct RREQ origins grows (100 → 600 "vehicles").  The acceptance
+  bar: the per-packet cost stays flat (max/min within noise).
+- **probe table** — microseconds per ``_case_by_alias`` lookup as the
+  number of simultaneously open exam cases grows (100 → 600
+  "suspects").  This is the per-suspect state the sketches avoid; its
+  cost grows linearly with the suspect count.
+
+A quality section runs one seeded flood trial per variant through the
+full pipeline and records detection: every seeded flooder convicted,
+zero honest convictions.
+
+Run the full benchmark (rewrites ``BENCH_sketch.json`` at the repo
+root)::
+
+    PYTHONPATH=src python benchmarks/bench_sketch.py
+
+CI smoke mode (fewer packets, asserts flatness/growth and the quality
+gate, enforces a wall budget, writes nothing)::
+
+    PYTHONPATH=src python benchmarks/bench_sketch.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import date
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.clusters.membership import MemberRecord, MembershipTable  # noqa: E402
+from repro.core.accounting import PacketLedger  # noqa: E402
+from repro.core.examiner import _ExamCase  # noqa: E402
+from repro.experiments.flood import flood_trial_config  # noqa: E402
+from repro.experiments.executor import summarize_trial  # noqa: E402
+from repro.experiments.trial import run_trial  # noqa: E402
+from repro.attacks.flood import FLOOD_VARIANTS  # noqa: E402
+from repro.net import ChannelConfig, Network, Node  # noqa: E402
+from repro.routing.packets import RouteRequest  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+from repro.sketch import AggregateMonitor, SketchConfig  # noqa: E402
+
+#: Origin/suspect population sizes for both scaling series.
+SCALES = (100, 300, 600)
+
+
+class _BenchRsu(Node):
+    def __init__(self, sim, node_id, **kwargs):
+        super().__init__(sim, node_id, **kwargs)
+        self.membership = MembershipTable()
+        self.cluster_index = 1
+
+
+class _BenchService:
+    def __init__(self, rsu):
+        self.rsu = rsu
+
+
+def _make_monitor() -> AggregateMonitor:
+    sim = Simulator(seed=1)
+    net = Network(sim, ChannelConfig())
+    rsu = _BenchRsu(sim, "rsu", position=(0.0, 0.0), transmission_range=1000.0)
+    net.attach(rsu)
+    rsu.membership.join(MemberRecord(address="m1", joined_at=0.0))
+    return AggregateMonitor(_BenchService(rsu), SketchConfig(convict=False))
+
+
+def bench_monitor(packets: int, reps: int) -> dict:
+    """us per overheard RREQ as the distinct-origin count grows."""
+    out: dict[str, dict] = {}
+    for scale in SCALES:
+        monitor = _make_monitor()
+        stream = [
+            RouteRequest(
+                src=f"v{i % scale}", dst="*", originator=f"v{i % scale}",
+                destination="somewhere", hop_count=0,
+            )
+            for i in range(packets)
+        ]
+        best = float("inf")
+        for _ in range(reps):
+            started = time.perf_counter()
+            overhear = monitor._on_overhear
+            for packet in stream:
+                overhear(packet, packet.src, "*")
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
+        out[str(scale)] = {
+            "us_per_packet": round(best / packets * 1e6, 4),
+            "sketch_bytes": monitor.epoch_rreq.state_bytes,
+        }
+    costs = [out[str(scale)]["us_per_packet"] for scale in SCALES]
+    out["flatness_ratio"] = round(max(costs) / min(costs), 3)
+    return out
+
+
+def bench_probe_table(lookups: int, reps: int) -> dict:
+    """us per ``_case_by_alias`` scan as the open-case count grows.
+
+    The probe protocol's state is one open case per suspect; every
+    probe reply resolves its alias through a linear scan of that table.
+    """
+    out: dict[str, dict] = {}
+    for scale in SCALES:
+        table = {
+            f"suspect-{i}": _ExamCase(
+                suspect=f"suspect-{i}",
+                suspect_cluster=1,
+                reporters=[("reporter", 1)],
+                certificate=None,
+                ledger=PacketLedger(),
+                alias=f"alias-{i}",
+            )
+            for i in range(scale)
+        }
+
+        def case_by_alias(alias):
+            for case in table.values():
+                if case.alias == alias and not case.closed:
+                    return case
+            return None
+
+        target = f"alias-{scale - 1}"  # worst case: last in the table
+        best = float("inf")
+        for _ in range(reps):
+            started = time.perf_counter()
+            for _ in range(lookups):
+                case_by_alias(target)
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
+        out[str(scale)] = {"us_per_lookup": round(best / lookups * 1e6, 4)}
+    costs = [out[str(scale)]["us_per_lookup"] for scale in SCALES]
+    out["growth_ratio"] = round(costs[-1] / costs[0], 3)
+    return out
+
+
+def bench_quality() -> dict:
+    """One seeded flood trial per variant through the full pipeline."""
+    out: dict[str, dict] = {}
+    all_detected = True
+    honest = 0
+    for variant in FLOOD_VARIANTS:
+        config = flood_trial_config(seed=21, variant=variant, vehicles=30)
+        summary = summarize_trial(config, run_trial(config))
+        all_detected = all_detected and summary.detected
+        honest += summary.convicted_honest
+        out[variant] = {
+            "detected": summary.detected,
+            "honest_convictions": summary.convicted_honest,
+            "detection_time": (
+                round(summary.first_conviction_at - config.warmup, 3)
+                if summary.first_conviction_at is not None
+                else None
+            ),
+        }
+    out["all_flooders_convicted"] = all_detected
+    out["honest_convictions"] = honest
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--packets", type=int, default=200_000,
+        help="overheard packets per monitor scaling point",
+    )
+    parser.add_argument(
+        "--lookups", type=int, default=20_000,
+        help="alias lookups per probe-table scaling point",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=5,
+        help="repetitions per measurement (best wins)",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_sketch.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="assert scaling shapes + detection quality, writes nothing",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=120.0,
+        help="smoke-mode wall-clock budget in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    packets = 20_000 if args.smoke else args.packets
+    lookups = 4_000 if args.smoke else args.lookups
+    reps = 3 if args.smoke else args.reps
+
+    monitor = bench_monitor(packets, reps)
+    for scale in SCALES:
+        print(
+            f"monitor  {scale:>4} origins   "
+            f"{monitor[str(scale)]['us_per_packet']:8.3f} us/packet"
+        )
+    print(f"monitor flatness ratio (max/min): {monitor['flatness_ratio']}")
+
+    probe = bench_probe_table(lookups, reps)
+    for scale in SCALES:
+        print(
+            f"probe    {scale:>4} suspects  "
+            f"{probe[str(scale)]['us_per_lookup']:8.3f} us/lookup"
+        )
+    print(f"probe growth ratio (600 vs 100): {probe['growth_ratio']}")
+
+    quality = bench_quality()
+    for variant in FLOOD_VARIANTS:
+        row = quality[variant]
+        print(
+            f"quality  {variant:<9} detected={row['detected']} "
+            f"honest_fp={row['honest_convictions']} "
+            f"t_detect={row['detection_time']}s"
+        )
+
+    failures = []
+    # The monitor's per-packet cost must be flat in the origin count;
+    # 1.6 leaves room for cache noise on a loaded box.
+    if monitor["flatness_ratio"] > 1.6:
+        failures.append(
+            f"monitor cost not flat: ratio {monitor['flatness_ratio']}"
+        )
+    # The probe table is the contrast: linear state, so 6x the suspects
+    # must cost clearly more than 2x the lookup time.
+    if probe["growth_ratio"] < 2.0:
+        failures.append(
+            f"probe lookup did not grow: ratio {probe['growth_ratio']}"
+        )
+    if not quality["all_flooders_convicted"]:
+        failures.append("a seeded flooder escaped conviction")
+    if quality["honest_convictions"]:
+        failures.append("an honest vehicle was convicted")
+    for failure in failures:
+        print(f"FAIL {failure}")
+
+    if args.smoke:
+        elapsed = time.perf_counter() - started
+        if elapsed > args.budget:
+            print(f"FAIL smoke exceeded budget: {elapsed:.1f}s > {args.budget}s")
+            return 1
+        if failures:
+            return 1
+        print(f"smoke OK in {elapsed:.1f}s (budget {args.budget:.0f}s)")
+        return 0
+
+    payload = {
+        "benchmark": "sketch monitor vs per-suspect probe state scaling",
+        "recorded": date.today().isoformat(),
+        "python": platform.python_version(),
+        "packets_per_point": packets,
+        "lookups_per_point": lookups,
+        "monitor": monitor,
+        "probe_table": probe,
+        "flood_quality": quality,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ to win route selection, then drop every data packet routed through them.
 
 from repro.attacks.blackhole import BlackHoleAodv, BlackHoleVehicle
 from repro.attacks.cooperative import make_cooperative_pair
+from repro.attacks.flood import FLOOD_VARIANTS, FloodingVehicle, FloodPolicy
 from repro.attacks.grayhole import GrayHoleAodv, GrayHoleVehicle
 from repro.attacks.policy import AttackerPolicy
 
@@ -22,6 +23,9 @@ __all__ = [
     "AttackerPolicy",
     "BlackHoleAodv",
     "BlackHoleVehicle",
+    "FLOOD_VARIANTS",
+    "FloodPolicy",
+    "FloodingVehicle",
     "GrayHoleAodv",
     "GrayHoleVehicle",
     "make_cooperative_pair",

@@ -610,6 +610,48 @@ class DetectionService:
         self.records.append(record)
         return record
 
+    def convict_flooder(self, suspect: str, *, evidence: str):
+        """Isolate an RREQ flooder convicted by the aggregate monitor.
+
+        The evidence is statistical — a per-origin RREQ rate sustained
+        above the dynamic threshold (see ``repro.sketch``) — so, like
+        forwarding convictions, the record carries the evidence string
+        in its breakdown rather than a probe ledger.
+        """
+        from repro.sketch import VERDICT_FLOODER
+
+        existing = self.verification_table.get(suspect)
+        if existing is not None and existing.closed:
+            return None  # already convicted (possibly by a neighbor CH)
+        ledger = PacketLedger()
+        ledger.breakdown.append(f"sketch-evidence: {evidence}")
+        case = _ExamCase(
+            suspect=suspect,
+            suspect_cluster=self.rsu.cluster_index,
+            reporters=[(self.rsu.address, self.rsu.cluster_index)],
+            certificate=self._lookup_certificate(suspect),
+            ledger=ledger,
+            started_at=self.sim.now,
+            examined_by=[self.rsu.cluster_index],
+        )
+        case.closed = True
+        case.verdict = VERDICT_FLOODER
+        self.verification_table[suspect] = case
+        self._isolate(case)
+        record = DetectionRecord(
+            suspect=suspect,
+            verdict=VERDICT_FLOODER,
+            packets=ledger.total,
+            reporter=self.rsu.address,
+            reporter_cluster=self.rsu.cluster_index,
+            examined_by=[self.rsu.cluster_index],
+            started_at=case.started_at,
+            finished_at=self.sim.now,
+            breakdown=list(ledger.breakdown),
+        )
+        self.records.append(record)
+        return record
+
     def _lookup_certificate(self, pseudonym: str):
         for authority in self.ta_network.authorities.values():
             certificate = authority.certificate_for(pseudonym)

@@ -20,14 +20,23 @@ entire cluster.  This module puts the watchdog on the RSU:
 Because only the trusted CH observes and decides, the peer-voting
 failure modes (§V-C) never arise; and because the evidence is the
 member's own observed behaviour, honest forwarders cannot be framed.
+
+Ledger semantics (see docs/sketch-detection.md): obligations are
+tracked *by identity* — each is settled exactly once, either as
+forwarded (the onward copy was overheard in time) or as dropped (its
+grace timer fired first) — so ``forwarded + dropped`` can never exceed
+``observed``.  Duplicate broadcast copies of the same hand-off heard in
+the same instant collapse into a single obligation: the member received
+one packet and owes one onward transmission, not one per radio copy.
+A stopped watchdog neutralizes its armed grace timers; it can no
+longer mark drops or convict.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.core.accounting import DetectionRecord, PacketLedger
 from repro.routing.packets import DataPacket
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,15 +46,40 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 VERDICT_GRAY_HOLE = "gray-hole"
 
 
-@dataclass
+@dataclass(eq=False)
 class _Obligation:
-    """One overheard hand-off awaiting the onward transmission."""
+    """One overheard hand-off awaiting the onward transmission.
+
+    ``eq=False``: obligations are identities, not values.  Two hand-offs
+    with identical fields are still two distinct obligations, and the
+    expiry timer armed for one must never settle the other.
+    """
 
     member: str
     originator: str
     final_destination: str
     hops_travelled: int
     deadline: float
+    settled: bool = False
+
+    def matches_onward(self, packet: DataPacket) -> bool:
+        """Is ``packet`` the onward copy that discharges this obligation?"""
+        return (
+            packet.originator == self.originator
+            and packet.final_destination == self.final_destination
+            and packet.hops_travelled == self.hops_travelled + 1
+        )
+
+    def is_duplicate_of(self, other: "_Obligation") -> bool:
+        """Same hand-off signature recorded at the same instant — a
+        duplicate radio copy of one packet, not a second obligation."""
+        return (
+            other.member == self.member
+            and other.originator == self.originator
+            and other.final_destination == self.final_destination
+            and other.hops_travelled == self.hops_travelled
+            and other.deadline == self.deadline
+        )
 
 
 @dataclass
@@ -102,21 +136,38 @@ class InfrastructureWatchdog:
         self.rsu = service.rsu
         self.config = config or WatchdogConfig()
         self.ledgers: dict[str, ForwardingLedger] = {}
-        self._pending: list[_Obligation] = []
+        self._pending: dict[str, list[_Obligation]] = {}
         self.convicted: set[str] = set()
+        self._stopped = False
         if self.rsu.network is None:
             raise RuntimeError("RSU must be attached before the watchdog")
         self.rsu.network.add_monitor(self.rsu, self._on_overhear)
 
     def stop(self) -> None:
+        """Detach the monitor and neutralize every armed grace timer.
+
+        Expiry events already in the queue still fire, but find their
+        obligations settled and the watchdog stopped: no drop is marked
+        and no conviction can happen after ``stop()``.
+        """
         if self.rsu.network is not None:
             self.rsu.network.remove_monitor(self.rsu)
+        self._stopped = True
+        for bucket in self._pending.values():
+            for obligation in bucket:
+                obligation.settled = True
+        self._pending.clear()
+
+    @property
+    def pending_count(self) -> int:
+        """Obligations currently awaiting an onward copy."""
+        return sum(len(bucket) for bucket in self._pending.values())
 
     # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
     def _on_overhear(self, packet, sender: str, intended: str) -> None:
-        if not isinstance(packet, DataPacket):
+        if self._stopped or not isinstance(packet, DataPacket):
             return
         self._discharge(packet, sender)
         self._record_obligation(packet, intended)
@@ -136,8 +187,15 @@ class InfrastructureWatchdog:
             hops_travelled=packet.hops_travelled,
             deadline=self.rsu.sim.now + self.config.grace,
         )
-        self._pending.append(obligation)
-        self.ledgers.setdefault(intended, ForwardingLedger()).observed += 1
+        bucket = self._pending.setdefault(intended, [])
+        ledger = self.ledgers.setdefault(intended, ForwardingLedger())
+        ledger.observed += 1
+        if any(existing.is_duplicate_of(obligation) for existing in bucket):
+            # A duplicate radio copy of a hand-off already on the books:
+            # the member owes one onward transmission for this packet,
+            # so no second obligation (and no second grace timer).
+            return
+        bucket.append(obligation)
         self.rsu.sim.schedule(
             self.config.grace,
             self._expire,
@@ -148,21 +206,30 @@ class InfrastructureWatchdog:
 
     def _discharge(self, packet: DataPacket, sender: str) -> None:
         """The onward copy of an obligated packet was overheard."""
-        for index, obligation in enumerate(self._pending):
-            if (
-                obligation.member == sender
-                and obligation.originator == packet.originator
-                and obligation.final_destination == packet.final_destination
-                and packet.hops_travelled == obligation.hops_travelled + 1
-            ):
-                del self._pending[index]
+        bucket = self._pending.get(sender)
+        if not bucket:
+            return
+        for index, obligation in enumerate(bucket):
+            if obligation.matches_onward(packet):
+                obligation.settled = True
+                del bucket[index]
+                if not bucket:
+                    del self._pending[sender]
                 self.ledgers[sender].forwarded += 1
                 return
 
     def _expire(self, obligation: _Obligation) -> None:
-        if obligation not in self._pending:
-            return  # discharged in time
-        self._pending.remove(obligation)
+        if self._stopped or obligation.settled:
+            return  # discharged in time, or the watchdog was stopped
+        obligation.settled = True
+        bucket = self._pending.get(obligation.member)
+        if bucket is not None:
+            for index, candidate in enumerate(bucket):
+                if candidate is obligation:
+                    del bucket[index]
+                    break
+            if not bucket:
+                self._pending.pop(obligation.member, None)
         ledger = self.ledgers[obligation.member]
         ledger.dropped += 1
         self._judge(obligation.member, ledger)

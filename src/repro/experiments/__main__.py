@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments figure4 [--trials N] [--attacks single,cooperative]
     python -m repro.experiments figure5
     python -m repro.experiments ablations
+    python -m repro.experiments flood [--variants constant,bursty,rotating]
     python -m repro.experiments trial [--metrics] [--trace PATH] [--profile]
                                       [--sample-interval S] [--serve-metrics PORT]
     python -m repro.experiments top --dir DIR   # live view of a campaign ledger
@@ -88,6 +89,30 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     print("\nshape matches the paper: 100% w/ zero FP/FN in clusters 1-7, "
           "degradation in the renewal zone 8-10, zero FP everywhere")
     return 0
+
+
+def _cmd_flood(args: argparse.Namespace) -> int:
+    from repro.attacks.flood import FLOOD_VARIANTS
+    from repro.experiments.flood import format_flood_sweep, run_flood_sweep
+
+    variants = tuple(args.variants.split(","))
+    for variant in variants:
+        if variant not in FLOOD_VARIANTS:
+            print(f"unknown flood variant {variant!r}", file=sys.stderr)
+            return 2
+    executor = _make_executor(args)
+    result = run_flood_sweep(
+        trials=args.trials,
+        variants=variants,
+        rate=args.rate,
+        vehicles=args.vehicles,
+        num_flooders=args.flooders,
+        seed=args.seed,
+        parallel=executor,
+    )
+    print(format_flood_sweep(result))
+    _print_executor_stats(executor)
+    return 0 if result.clean else 1
 
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
@@ -466,6 +491,20 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--config", required=True)
     _add_parallel_args(run)
     run.set_defaults(func=_cmd_run)
+    flood = sub.add_parser(
+        "flood", help="RREQ-flood detection sweep (sketch monitors)"
+    )
+    flood.add_argument("--trials", type=int, default=5)
+    flood.add_argument(
+        "--variants", default="constant,bursty,rotating",
+        help="comma-separated flood variants to sweep",
+    )
+    flood.add_argument("--rate", type=float, default=50.0)
+    flood.add_argument("--vehicles", type=int, default=60)
+    flood.add_argument("--flooders", type=int, default=1)
+    flood.add_argument("--seed", type=int, default=9000)
+    _add_parallel_args(flood)
+    flood.set_defaults(func=_cmd_flood)
     trial = sub.add_parser(
         "trial", help="run one seeded trial with optional instrumentation"
     )

@@ -13,7 +13,8 @@ from repro.net import ChannelConfig
 ATTACK_NONE = "none"
 ATTACK_SINGLE = "single"
 ATTACK_COOPERATIVE = "cooperative"
-ATTACK_TYPES = (ATTACK_NONE, ATTACK_SINGLE, ATTACK_COOPERATIVE)
+ATTACK_FLOOD = "flood"
+ATTACK_TYPES = (ATTACK_NONE, ATTACK_SINGLE, ATTACK_COOPERATIVE, ATTACK_FLOOD)
 
 
 def point_key(attack: str, cluster: int) -> int:
@@ -104,6 +105,15 @@ class TrialConfig:
     #: explicit attacker policy; None samples by zone (aggressive outside
     #: the renewal zone, evasive mix inside it)
     policy: object = None
+    #: flood behaviour for ``attack="flood"`` trials; None uses the
+    #: :class:`~repro.attacks.flood.FloodPolicy` defaults
+    flood: object = None
+    #: flooders placed in ``attacker_cluster`` for flood trials
+    num_flooders: int = 1
+    #: sketch-monitor configuration (:class:`repro.sketch.SketchConfig`);
+    #: None leaves aggregate monitors off — the default, so the protocol
+    #: event stream of existing scenarios is untouched
+    sketch: object = None
     #: how long to keep simulating after the verification outcome so the
     #: detection and isolation phases complete
     settle_time: float = 40.0
@@ -129,3 +139,5 @@ class TrialConfig:
             raise ValueError(
                 f"attacker_cluster must be in [1, {highway.num_clusters}]"
             )
+        if self.num_flooders < 1:
+            raise ValueError("num_flooders must be at least 1")

@@ -52,7 +52,7 @@ from repro.experiments.progress import ProgressEvent
 #: Bump when the summary fields or the canonical config encoding change;
 #: old cache entries then miss instead of deserialising garbage.
 #: 2: ChannelConfig gained ``batch_broadcast``.
-CACHE_SCHEMA = 2
+CACHE_SCHEMA = 3
 
 #: Shard count for the JSONL cache (single hex digit of the key).
 _CACHE_SHARDS = 16
@@ -125,6 +125,9 @@ class TrialSummary:
     detection_packets: int | None
     convicted_attackers: int
     convicted_honest: int
+    #: virtual time of the first convicting verdict, or None; with the
+    #: warm-up subtracted this is the sweep-facing time-to-detection
+    first_conviction_at: float | None = None
 
     @property
     def attack_present(self) -> bool:
@@ -152,6 +155,14 @@ def summarize_trial(config: TrialConfig, result) -> TrialSummary:
         detection_packets=result.detection_packets,
         convicted_attackers=len(convicted & result.attacker_addresses),
         convicted_honest=len(convicted & result.honest_addresses),
+        first_conviction_at=min(
+            (
+                record.finished_at
+                for record in result.records
+                if record.suspect in convicted
+            ),
+            default=None,
+        ),
     )
 
 

@@ -205,6 +205,28 @@ def generate_report(
             "```", format_timelines(traced.timelines), "```", "",
         ]
 
+    # RREQ-flood detection (sketch monitors) --------------------------
+    from repro.experiments.flood import (
+        flood_csv,
+        format_flood_sweep,
+        run_flood_sweep,
+    )
+
+    flood = run_flood_sweep(
+        trials=2, variants=("constant", "rotating"), vehicles=40,
+        parallel=parallel,
+    )
+    if not flood.clean:
+        failures.append(
+            "flood sweep: a seeded flooder escaped or an honest vehicle "
+            "was convicted"
+        )
+    save_csv("flood.csv", flood_csv(flood))
+    sections += [
+        "## RREQ-flood detection (sketch monitors)", "```",
+        format_flood_sweep(flood), "```", "",
+    ]
+
     # PDR + urban -----------------------------------------------------
     pdr = run_pdr(parallel=parallel)
     save_csv("pdr.csv", pdr_csv(pdr))

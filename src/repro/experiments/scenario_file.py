@@ -28,9 +28,11 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.attacks.flood import FloodPolicy
 from repro.attacks.policy import AttackerPolicy
 from repro.core.config import BlackDpConfig
 from repro.experiments.config import ATTACK_TYPES, TableIConfig, TrialConfig
+from repro.sketch import SketchConfig
 from repro.experiments.executor import TrialExecutor, TrialSummary, summarize_trial
 from repro.experiments.trial import run_trial
 from repro.metrics import wilson_interval
@@ -59,6 +61,9 @@ class Scenario:
     table: TableIConfig
     policy: AttackerPolicy | None
     blackdp: BlackDpConfig
+    flood: FloodPolicy | None = None
+    sketch: SketchConfig | None = None
+    num_flooders: int = 1
 
     def trial_config(self, index: int) -> TrialConfig:
         return TrialConfig(
@@ -68,6 +73,9 @@ class Scenario:
             table=self.table,
             blackdp=self.blackdp,
             policy=self.policy,
+            flood=self.flood,
+            sketch=self.sketch,
+            num_flooders=self.num_flooders,
         )
 
 
@@ -129,7 +137,7 @@ def parse_scenario(payload: dict) -> Scenario:
         raise ScenarioError("scenario file must contain a JSON object")
     known = {
         "name", "attack", "attacker_cluster", "trials", "seed", "vehicles",
-        "policy", "blackdp",
+        "policy", "blackdp", "flood", "sketch", "num_flooders",
     }
     unknown = set(payload) - known
     if unknown:
@@ -165,6 +173,23 @@ def parse_scenario(payload: dict) -> Scenario:
         {"inter_probe_delay": 0.5, **blackdp_spec},
         context="blackdp",
     )
+    flood_spec = payload.get("flood")
+    flood = None
+    if isinstance(flood_spec, dict):
+        flood = _build_dataclass(FloodPolicy, flood_spec, context="flood")
+    elif flood_spec is not None:
+        raise ScenarioError("flood must be an object of FloodPolicy fields")
+    sketch_spec = payload.get("sketch")
+    sketch = None
+    if sketch_spec is True:
+        sketch = SketchConfig()
+    elif isinstance(sketch_spec, dict):
+        sketch = _build_dataclass(SketchConfig, sketch_spec, context="sketch")
+    elif sketch_spec not in (None, False):
+        raise ScenarioError("sketch must be true or an object of SketchConfig fields")
+    num_flooders = int(payload.get("num_flooders", 1))
+    if num_flooders < 1:
+        raise ScenarioError("num_flooders must be at least 1")
     return Scenario(
         name=str(payload.get("name", "unnamed scenario")),
         attack=attack,
@@ -174,6 +199,9 @@ def parse_scenario(payload: dict) -> Scenario:
         table=table,
         policy=policy,
         blackdp=blackdp,
+        flood=flood,
+        sketch=sketch,
+        num_flooders=num_flooders,
     )
 
 

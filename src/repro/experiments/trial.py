@@ -12,16 +12,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.attacks import AttackerPolicy
+from repro.attacks import AttackerPolicy, FloodPolicy
 from repro.core.accounting import DetectionRecord
 from repro.core.verifier import VerificationOutcome
 from repro.obs import DetectionTimeline, ProfileReport, TraceEvent, reconstruct_timelines
 from repro.experiments.config import (
+    ATTACK_FLOOD,
     ATTACK_NONE,
     ATTACK_SINGLE,
     TrialConfig,
 )
 from repro.experiments.world import World, build_world
+
+#: Verdicts that isolate their suspect: the probe protocol's
+#: ``black-hole``, the watchdog's ``gray-hole``, and the aggregate
+#: monitor's ``rreq-flood``.
+CONVICTING_VERDICTS = frozenset({"black-hole", "gray-hole", "rreq-flood"})
 
 
 @dataclass
@@ -65,7 +71,7 @@ class TrialResult:
     def convicted_addresses(self) -> set[str]:
         convicted: set[str] = set()
         for record in self.records:
-            if record.verdict == "black-hole":
+            if record.verdict in CONVICTING_VERDICTS:
                 convicted.add(record.suspect)
                 convicted.update(record.cooperative_with)
         return convicted
@@ -286,6 +292,9 @@ class TrialSession:
         # Attackers may have renewed pseudonyms during the trial.
         for attacker in self.attackers:
             result.attacker_addresses.add(attacker.address)
+            result.attacker_addresses.update(
+                getattr(attacker, "addresses_used", ())
+            )
         result.honest_addresses = {
             vehicle.address
             for vehicle in self.background + [self.source, self.destination]
@@ -320,6 +329,8 @@ def begin_trial(config: TrialConfig) -> TrialSession:
         obs.enable_profiler()
     if config.sample_interval > 0:
         obs.enable_timeseries(interval=config.sample_interval)
+    if config.sketch is not None:
+        world.install_sketch_monitors(config.sketch)
     rng = world.sim.rng("trial")
     highway = world.highway
 
@@ -336,7 +347,19 @@ def begin_trial(config: TrialConfig) -> TrialSession:
     )
 
     policy_name, attackers = "none", []
-    if config.attack != ATTACK_NONE:
+    if config.attack == ATTACK_FLOOD:
+        flood_policy = config.flood or FloodPolicy()
+        policy_name = f"flood-{flood_policy.variant}"
+        cluster_start, cluster_end = highway.cluster_bounds(config.attacker_cluster)
+        attackers = [
+            world.add_flooder(
+                f"flooder-{index + 1}",
+                rng.uniform(cluster_start + 50, cluster_end - 50),
+                policy=flood_policy,
+            )
+            for index in range(config.num_flooders)
+        ]
+    elif config.attack != ATTACK_NONE:
         policy_name, policy = sample_policy(config, rng)
         cluster_start, cluster_end = highway.cluster_bounds(config.attacker_cluster)
         attacker_x = rng.uniform(cluster_start + 50, cluster_end - 50)

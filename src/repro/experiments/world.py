@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.attacks import AttackerPolicy, BlackHoleVehicle, make_cooperative_pair
+from repro.attacks import (
+    AttackerPolicy,
+    BlackHoleVehicle,
+    FloodingVehicle,
+    FloodPolicy,
+    make_cooperative_pair,
+)
 from repro.clusters import build_rsu_chain
 from repro.core import (
     BlackDpConfig,
@@ -42,6 +48,8 @@ class World:
     verifiers: dict[str, RouteVerifier] = field(default_factory=dict)
     blackdp_config: BlackDpConfig | None = None
     transmission_range: float = 1000.0
+    #: aggregate sketch monitors (``repro.sketch``), when installed
+    monitors: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Lookups
@@ -123,6 +131,43 @@ class World:
         attacker.activate()
         self.vehicles.append(attacker)
         return attacker
+
+    def add_flooder(
+        self,
+        node_id: str,
+        x: float,
+        speed: float = 0.0,
+        *,
+        lane_y: float = 75.0,
+        policy: FloodPolicy | None = None,
+        enrolled: bool = True,
+    ) -> FloodingVehicle:
+        """Add an RREQ-flooding vehicle and activate it."""
+        ta = self.ta_for_vehicle(x)
+        motion = VehicleMotion(
+            entry_time=self.sim.now, entry_x=x, speed=speed, lane_y=lane_y
+        )
+        flooder = FloodingVehicle(
+            self.sim,
+            self.highway,
+            node_id,
+            motion,
+            policy=policy,
+            enrolment=ta.enroll(node_id, now=self.sim.now) if enrolled else None,
+            authority=ta if enrolled else None,
+            transmission_range=self.transmission_range,
+        )
+        self.net.attach(flooder)
+        flooder.activate()
+        self.vehicles.append(flooder)
+        return flooder
+
+    def install_sketch_monitors(self, config=None) -> list:
+        """Attach one aggregate monitor per detection service."""
+        from repro.sketch import install_monitors
+
+        self.monitors = install_monitors(self.services, config)
+        return self.monitors
 
     def add_cooperative_pair(
         self,

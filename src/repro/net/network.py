@@ -305,8 +305,18 @@ class Network:
         """
         self._monitors.append((node, callback))
 
-    def remove_monitor(self, node: Node) -> None:
-        self._monitors = [(n, c) for n, c in self._monitors if n is not node]
+    def remove_monitor(self, node: Node, callback=None) -> None:
+        """Remove ``node``'s monitor registrations.
+
+        With ``callback`` given, only that registration is removed —
+        several observers (watchdog, aggregate monitor) can share one
+        node's radio tap without detaching each other.
+        """
+        self._monitors = [
+            (n, c)
+            for n, c in self._monitors
+            if n is not node or (callback is not None and c != callback)
+        ]
 
     def _overhear(self, sender: Node, packet: Packet) -> None:
         if not self._monitors:
@@ -315,16 +325,16 @@ class Network:
         # from snapshot cells without a distance computation.
         sender_address = packet.src or sender.address
         if self.config.batch_broadcast:
-            callbacks = tuple(
-                callback
-                for monitor, callback in self._monitors
-                if monitor is not sender and self.in_range(sender, monitor)
+            entries = tuple(
+                entry
+                for entry in self._monitors
+                if entry[0] is not sender and self.in_range(sender, entry[0])
             )
-            if callbacks:
+            if entries:
                 self.sim.schedule(
                     self.config.per_hop_delay,
                     self._overhear_arrive,
-                    args=(callbacks, packet, sender_address),
+                    args=(entries, packet, sender_address),
                     label=f"overhear {packet.kind}",
                 )
             return
@@ -333,15 +343,27 @@ class Network:
                 continue
             self.sim.schedule(
                 self.config.per_hop_delay,
-                callback,
-                args=(packet, sender_address, packet.dst),
+                self._overhear_arrive_one,
+                args=(monitor, callback, packet, sender_address),
                 label=f"overhear {packet.kind}",
             )
 
     def _overhear_arrive(
-        self, callbacks: tuple, packet: Packet, sender_address: str
+        self, entries: tuple, packet: Packet, sender_address: str
     ) -> None:
-        for callback in callbacks:
+        # A monitor removed while the delivery was in flight must not
+        # hear it: re-check registration at delivery time.  Entries are
+        # ``(node, callback)`` pairs; tuple equality compares the node
+        # by identity and the bound-method callback by (func, self).
+        monitors = self._monitors
+        for entry in entries:
+            if entry in monitors:
+                entry[1](packet, sender_address, packet.dst)
+
+    def _overhear_arrive_one(
+        self, monitor: Node, callback, packet: Packet, sender_address: str
+    ) -> None:
+        if (monitor, callback) in self._monitors:
             callback(packet, sender_address, packet.dst)
 
     def _observe_drop(self, sender: Node, packet: Packet, cause: str) -> None:

@@ -198,3 +198,68 @@ def test_in_range_matches_distance_threshold(x):
     a = add_node(sim, net, "a", 0)
     b = add_node(sim, net, "b", x)
     assert net.in_range(a, b) == (x <= 1000.0)
+
+
+# ----------------------------------------------------------------------
+# Promiscuous monitors: registration is re-checked at delivery time
+# ----------------------------------------------------------------------
+def _monitor_setup(**config):
+    sim, net = make_net(**config)
+    sender = add_node(sim, net, "sender", 0)
+    add_node(sim, net, "receiver", 500)
+    watcher = add_node(sim, net, "watcher", 200)
+    overheard = []
+    callback = lambda p, s, d: overheard.append((p.uid, s, d))  # noqa: E731
+    net.add_monitor(watcher, callback)
+    return sim, net, sender, watcher, callback, overheard
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_monitor_removed_in_flight_never_hears(batch):
+    """A monitor removed while the overhear delivery is still in the air
+    must not receive it — registration is re-checked on arrival (both
+    the batched entry-tuple path and the legacy per-monitor path)."""
+    sim, net, sender, watcher, _callback, overheard = _monitor_setup(
+        batch_broadcast=batch
+    )
+    sender.send(Packet(src="sender", dst="receiver"))
+    # The overhear is in flight (per_hop_delay away); detach before it
+    # lands.  Delay 0 sorts ahead of the radio delay in the event queue.
+    sim.schedule(0.0, lambda: net.remove_monitor(watcher))
+    sim.run()
+    assert overheard == []
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_monitor_present_at_arrival_hears(batch):
+    sim, net, sender, _watcher, _callback, overheard = _monitor_setup(
+        batch_broadcast=batch
+    )
+    sender.send(Packet(src="sender", dst="receiver"))
+    sim.run()
+    assert len(overheard) == 1
+    assert overheard[0][1:] == ("sender", "receiver")
+
+
+def test_remove_monitor_by_callback_keeps_other_taps():
+    """Two services can share one node's radio tap; removing one
+    callback must leave the other registered."""
+    sim, net = make_net()
+    sender = add_node(sim, net, "sender", 0)
+    add_node(sim, net, "receiver", 500)
+    watcher = add_node(sim, net, "watcher", 200)
+    first, second = [], []
+    first_cb = lambda p, s, d: first.append(p.uid)  # noqa: E731
+    second_cb = lambda p, s, d: second.append(p.uid)  # noqa: E731
+    net.add_monitor(watcher, first_cb)
+    net.add_monitor(watcher, second_cb)
+    net.remove_monitor(watcher, first_cb)
+    sender.send(Packet(src="sender", dst="receiver"))
+    sim.run()
+    assert first == []
+    assert len(second) == 1
+    # Removing without a callback drops every remaining tap.
+    net.remove_monitor(watcher)
+    sender.send(Packet(src="sender", dst="receiver"))
+    sim.run()
+    assert len(second) == 1

@@ -86,6 +86,24 @@ def test_histogram_summary_and_bounded_reservoir():
     assert 0.0 <= histogram.percentile(0.5) <= 999.0
 
 
+def test_percentile_edge_cases():
+    """q=0 is the minimum, q=1 the maximum (never an index overrun),
+    and a single-sample reservoir answers itself for every quantile."""
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    for value in (5.0, 1.0, 9.0, 3.0):
+        histogram.observe(value)
+    assert histogram.percentile(0.0) == 1.0
+    assert histogram.percentile(1.0) == 9.0
+    assert histogram.percentile(0.5) in (3.0, 5.0)
+    single = registry.histogram("one")
+    single.observe(42.0)
+    for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+        assert single.percentile(q) == 42.0
+    empty = registry.histogram("none")
+    assert empty.percentile(0.5) == 0.0
+
+
 def test_snapshot_is_json_serialisable():
     registry = MetricsRegistry()
     registry.counter("c", k="v").inc()
