@@ -1,9 +1,9 @@
 """Event-loop throughput: slotted events, timer wheel, batched broadcast.
 
 Two measurements, each run under the legacy loop configuration
-(``USE_TIMER_WHEEL = False`` + ``ChannelConfig(batch_broadcast=False)``,
-reproducing the pre-overhaul per-event scheduling) and under the new
-defaults:
+(``USE_TIMER_WHEEL = False``, ``USE_EVENT_POOL = False`` and
+``ChannelConfig(batch_broadcast=False)``, reproducing the pre-overhaul
+per-event scheduling) and under the new defaults:
 
 - the **Table I trial** (the paper's experimental unit, profiled) —
   the number every PR since the observability baseline has tracked
@@ -12,6 +12,12 @@ defaults:
   the broadcast-batching showcase: every beacon's receivers share one
   arrival time, so the batched loop executes one event per beacon
   instead of one per receiver.
+
+Every arm runs in its **own subprocess**: earlier revisions flipped the
+loop switches in-process, which let module-global state (the packet id
+counter, warmed freelists, memoised label and dispatch caches, the wire
+intern table) leak from one arm into the other and flatten the measured
+difference.  A fresh interpreter per arm is the honest comparison.
 
 Because batching changes the raw event count (not the behaviour), the
 sweep point reports an *effective* events/sec: legacy event count
@@ -31,9 +37,11 @@ trace-identical and enforces a wall-clock budget, writes nothing)::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import itertools
 import json
 import platform
+import subprocess
 import sys
 import time
 from datetime import date
@@ -45,12 +53,13 @@ import repro.net.packets as packets_module  # noqa: E402
 import repro.sim.simulator as simulator_module  # noqa: E402
 from repro.experiments.config import ATTACK_SINGLE, TrialConfig  # noqa: E402
 from repro.experiments.trial import run_trial  # noqa: E402
-from repro.net import ChannelConfig, Network, Node  # noqa: E402
+from repro.net import ChannelConfig, Network, Node, frozen  # noqa: E402
 from repro.routing.protocol import AodvConfig, AodvProtocol  # noqa: E402
 from repro.sim import Simulator  # noqa: E402
 
 #: events/sec on the profiled Table I trial recorded at PR 3
-#: (BENCH_obs.json); the acceptance bar for this PR is >= 2x this.
+#: (BENCH_obs.json); the acceptance bar for the loop overhaul was >= 2x
+#: this.
 PR3_BASELINE_EVENTS_PER_SEC = 68_597
 
 #: Table I strip geometry (matches bench_spatial).
@@ -59,14 +68,21 @@ TRANSMISSION_RANGE = 500.0
 
 
 def _configure(legacy: bool) -> ChannelConfig:
-    """Reset global state and flip the legacy/new loop switches."""
+    """Reset per-process global state and flip the legacy/new switches.
+
+    Only meaningful inside a fresh ``--worker`` subprocess — the parent
+    never simulates anything itself, so no arm ever sees another arm's
+    warmed caches.
+    """
     packets_module._packet_ids = itertools.count(1)
+    frozen.reset()
     simulator_module.USE_TIMER_WHEEL = not legacy
+    simulator_module.USE_EVENT_POOL = not legacy
     return ChannelConfig(batch_broadcast=not legacy)
 
 
 # ----------------------------------------------------------------------
-# Point 1: the Table I trial, profiled
+# Workers (each runs in a fresh interpreter)
 # ----------------------------------------------------------------------
 def run_table1(*, legacy: bool, trace: bool = False):
     channel = _configure(legacy)
@@ -77,46 +93,29 @@ def run_table1(*, legacy: bool, trace: bool = False):
     return run_trial(config)
 
 
-def bench_table1(reps: int) -> dict:
-    # interleave the two configurations so CPU-frequency / load drift
-    # hits both equally; best wall time per configuration wins
-    best: dict = {"legacy": None, "new": None}
+def _worker_table1(legacy: bool, reps: int) -> dict:
+    best = None
     for _ in range(reps):
-        for name, legacy in [("legacy", True), ("new", False)]:
-            profile = run_table1(legacy=legacy).profile
-            if best[name] is None or profile.wall_seconds < best[name].wall_seconds:
-                best[name] = profile
-    point: dict = {}
-    for name in ("legacy", "new"):
-        profile = best[name]
-        point[name] = {
-            "events": profile.events,
-            "wall_seconds": round(profile.wall_seconds, 4),
-            "events_per_sec": int(profile.events_per_sec),
-            "queue_high_water": profile.queue_high_water,
-        }
-    new_rate = point["new"]["events_per_sec"]
-    point["speedup"] = round(
-        point["legacy"]["wall_seconds"] / point["new"]["wall_seconds"], 2
-    )
-    point["pr3_baseline_events_per_sec"] = PR3_BASELINE_EVENTS_PER_SEC
-    point["vs_pr3_baseline"] = round(new_rate / PR3_BASELINE_EVENTS_PER_SEC, 2)
-    return point
+        profile = run_table1(legacy=legacy).profile
+        if best is None or profile.wall_seconds < best.wall_seconds:
+            best = profile
+    return {
+        "events": best.events,
+        "wall_seconds": round(best.wall_seconds, 4),
+        "events_per_sec": int(best.events_per_sec),
+        "queue_high_water": best.queue_high_water,
+    }
 
 
-def assert_table1_equivalence() -> None:
-    """Legacy and new runs must produce byte-identical traces."""
-    new = run_table1(legacy=False, trace=True)
-    old = run_table1(legacy=True, trace=True)
-    new_trace = "\n".join(e.to_json() for e in new.trace_events)
-    old_trace = "\n".join(e.to_json() for e in old.trace_events)
-    if new_trace != old_trace:
-        raise AssertionError("legacy/new Table I traces diverge")
+def _worker_table1_trace(legacy: bool) -> dict:
+    result = run_table1(legacy=legacy, trace=True)
+    trace = "\n".join(e.to_json() for e in result.trace_events)
+    return {
+        "trace_sha256": hashlib.sha256(trace.encode()).hexdigest(),
+        "trace_events": len(result.trace_events),
+    }
 
 
-# ----------------------------------------------------------------------
-# Point 2: Hello-beacon-heavy sweep point, jitter-free
-# ----------------------------------------------------------------------
 def _build_hello_sim(n: int, *, legacy: bool):
     channel = _configure(legacy)
     channel.jitter = 0.0  # beacons arrive in lockstep: batching merges them
@@ -134,7 +133,7 @@ def _build_hello_sim(n: int, *, legacy: bool):
     return sim, net
 
 
-def run_hello_sweep(n: int, sim_seconds: float, *, legacy: bool) -> dict:
+def _worker_hello(legacy: bool, n: int, sim_seconds: float) -> dict:
     # timed pass: no profiler, so the wall time is the production path
     sim, net = _build_hello_sim(n, legacy=legacy)
     metrics = sim.obs.enable_metrics()
@@ -155,9 +154,68 @@ def run_hello_sweep(n: int, sim_seconds: float, *, legacy: bool) -> dict:
     return point
 
 
+def _spawn(worker: str, legacy: bool, extra: list[str]) -> dict:
+    cmd = [sys.executable, str(Path(__file__).resolve()), "--worker", worker]
+    if legacy:
+        cmd.append("--legacy")
+    cmd += extra
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"worker {worker} (legacy={legacy}) failed:\n{proc.stderr}"
+        )
+    for line in reversed(proc.stdout.splitlines()):
+        if line.startswith("RESULT "):
+            return json.loads(line[len("RESULT "):])
+    raise RuntimeError(f"worker {worker} printed no RESULT line")
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration
+# ----------------------------------------------------------------------
+def assert_table1_equivalence() -> None:
+    """Legacy and new runs must produce byte-identical traces."""
+    new = _spawn("table1-trace", False, [])
+    old = _spawn("table1-trace", True, [])
+    if new != old:
+        raise AssertionError(
+            f"legacy/new Table I traces diverge: {old} vs {new}"
+        )
+
+
+def bench_table1(reps: int) -> dict:
+    # alternate legacy/new worker launches over a few rounds so CPU
+    # frequency / load drift hits both arms roughly equally; best wall
+    # time per arm wins
+    rounds = min(3, max(1, reps))
+    shares = [
+        reps // rounds + (1 if i < reps % rounds else 0) for i in range(rounds)
+    ]
+    best: dict = {"legacy": None, "new": None}
+    for share in shares:
+        if share <= 0:
+            continue
+        for name, legacy in (("legacy", True), ("new", False)):
+            out = _spawn("table1", legacy, ["--reps", str(share)])
+            if (
+                best[name] is None
+                or out["wall_seconds"] < best[name]["wall_seconds"]
+            ):
+                best[name] = out
+    point: dict = {"legacy": best["legacy"], "new": best["new"]}
+    new_rate = point["new"]["events_per_sec"]
+    point["speedup"] = round(
+        point["legacy"]["wall_seconds"] / point["new"]["wall_seconds"], 2
+    )
+    point["pr3_baseline_events_per_sec"] = PR3_BASELINE_EVENTS_PER_SEC
+    point["vs_pr3_baseline"] = round(new_rate / PR3_BASELINE_EVENTS_PER_SEC, 2)
+    return point
+
+
 def bench_hello_sweep(n: int, sim_seconds: float) -> dict:
-    legacy = run_hello_sweep(n, sim_seconds, legacy=True)
-    new = run_hello_sweep(n, sim_seconds, legacy=False)
+    extra = ["--vehicles", str(n), "--sim-seconds", str(sim_seconds)]
+    legacy = _spawn("hello", True, extra)
+    new = _spawn("hello", False, extra)
     if new["deliveries"] != legacy["deliveries"]:
         raise AssertionError(
             f"hello sweep divergence at n={n}: {new['deliveries']} vs "
@@ -206,7 +264,22 @@ def main(argv: list[str] | None = None) -> int:
         "--budget", type=float, default=120.0,
         help="smoke-mode wall-clock budget in seconds",
     )
+    parser.add_argument(
+        "--worker", choices=["table1", "table1-trace", "hello"],
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument("--legacy", action="store_true", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+
+    if args.worker:
+        if args.worker == "table1":
+            out = _worker_table1(args.legacy, args.reps)
+        elif args.worker == "table1-trace":
+            out = _worker_table1_trace(args.legacy)
+        else:
+            out = _worker_hello(args.legacy, args.vehicles, args.sim_seconds)
+        print("RESULT " + json.dumps(out))
+        return 0
 
     if args.smoke:
         args.reps = 2
@@ -259,7 +332,7 @@ def main(argv: list[str] | None = None) -> int:
             "event-loop overhaul: profiled Table I trial plus a "
             f"jitter-free Hello-beacon sweep point ({args.vehicles} "
             "vehicles), legacy loop vs slotted events + timer wheel + "
-            "batched broadcast"
+            "batched broadcast + event pool, one subprocess per arm"
         ),
         "recorded": date.today().isoformat(),
         "python": platform.python_version(),

@@ -1,0 +1,398 @@
+"""Packet-path throughput and allocation benchmark: event pooling,
+flyweight packets, and the zero-allocation delivery loop.
+
+Three measurements, each arm run in its **own subprocess** so module
+globals (the wire intern table, the packet id counter, pooled
+freelists, memoised labels) cannot leak warm state between arms:
+
+- the **Table I trial** (the paper's experimental unit, profiled) with
+  the event pool on vs off — the pooled number is compared against the
+  149,576 ev/s recorded for this trial at PR 4 (``BENCH_eventloop.json``);
+- a **trace-equivalence check**: pool on and pool off must produce
+  byte-identical Table I traces (the pool recycles event objects, it
+  must never reorder them);
+- a **600-vehicle Hello-beacon sweep point** measured twice: once
+  untraced for throughput, once under :mod:`tracemalloc` to prove the
+  steady-state packet path allocates a flat amount of memory (the
+  freelist reaches its high-water mark and stays there).
+
+A fourth pass exercises wire interning (``account_bytes=True,
+intern_wire=True``) and records the ``net.packet.*`` / ``sim.pool.*``
+observability gauges so regressions in the plumbing show up here too.
+
+Run the full benchmark (writes ``BENCH_packetpath.json`` at the repo
+root)::
+
+    PYTHONPATH=src python benchmarks/bench_packetpath.py
+
+CI smoke mode (small population, equivalence + flat-memory assertions,
+wall-clock budget, writes nothing)::
+
+    PYTHONPATH=src python benchmarks/bench_packetpath.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import itertools
+import json
+import platform
+import subprocess
+import sys
+import time
+import tracemalloc
+from datetime import date
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.net.packets as packets_module  # noqa: E402
+import repro.sim.simulator as simulator_module  # noqa: E402
+from repro.experiments.config import ATTACK_SINGLE, TrialConfig  # noqa: E402
+from repro.experiments.trial import run_trial  # noqa: E402
+from repro.net import ChannelConfig, Network, Node, frozen  # noqa: E402
+from repro.routing.protocol import AodvConfig, AodvProtocol  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+
+#: events/sec on the profiled Table I trial recorded at PR 4
+#: (BENCH_eventloop.json, "new" arm); the packet-path acceptance bar
+#: is >= 1.5x this.
+PR4_ANCHOR_EVENTS_PER_SEC = 149_576
+
+#: Table I strip geometry (matches bench_eventloop / bench_spatial).
+HIGHWAY_LENGTH = 10_000.0
+TRANSMISSION_RANGE = 500.0
+
+#: Steady-state allocation ceiling for the traced half of the Hello
+#: sweep (bytes).  The pooled path's per-event allocations are reused,
+#: so growth is bounded by bookkeeping noise, not by event count.
+FLAT_MEMORY_BUDGET = 512 * 1024
+
+
+def _configure(pooled: bool) -> None:
+    """Reset per-process global state and flip the event pool.
+
+    Only meaningful inside a fresh ``--worker`` subprocess: the intern
+    table and freelists warm up across runs, so the parent process
+    never simulates anything itself.
+    """
+    packets_module._packet_ids = itertools.count(1)
+    frozen.reset()
+    simulator_module.USE_EVENT_POOL = pooled
+
+
+# ----------------------------------------------------------------------
+# Workers (each runs in a fresh interpreter)
+# ----------------------------------------------------------------------
+def _table1_config(*, trace: bool = False) -> TrialConfig:
+    return TrialConfig(
+        seed=1, attack=ATTACK_SINGLE, attacker_cluster=4,
+        profile=not trace, trace=trace,
+    )
+
+
+def _worker_table1(pooled: bool, reps: int) -> dict:
+    best = None
+    for _ in range(reps):
+        _configure(pooled)
+        profile = run_trial(_table1_config()).profile
+        if best is None or profile.wall_seconds < best.wall_seconds:
+            best = profile
+    return {
+        "events": best.events,
+        "wall_seconds": round(best.wall_seconds, 4),
+        "events_per_sec": int(best.events_per_sec),
+        "queue_high_water": best.queue_high_water,
+    }
+
+
+def _worker_table1_trace(pooled: bool) -> dict:
+    _configure(pooled)
+    result = run_trial(_table1_config(trace=True))
+    trace = "\n".join(e.to_json() for e in result.trace_events)
+    return {
+        "trace_sha256": hashlib.sha256(trace.encode()).hexdigest(),
+        "trace_events": len(result.trace_events),
+    }
+
+
+def _build_hello_sim(n: int):
+    sim = Simulator(seed=42)
+    net = Network(sim, ChannelConfig(jitter=0.0))
+    placement = sim.rng("bench-placement")
+    for i in range(n):
+        node = Node(
+            sim, f"veh-{i}",
+            position=(placement.uniform(0.0, HIGHWAY_LENGTH), 0.0),
+            transmission_range=TRANSMISSION_RANGE,
+        )
+        net.attach(node)
+        AodvProtocol(node, AodvConfig(enable_hello=True, hello_interval=1.0))
+    return sim, net
+
+
+def _worker_hello(pooled: bool, n: int, sim_seconds: float) -> dict:
+    # timed pass: production path, no instrumentation
+    _configure(pooled)
+    sim, net = _build_hello_sim(n)
+    started = time.perf_counter()
+    sim.run(until=sim_seconds)
+    wall = time.perf_counter() - started
+    point = {
+        "events": sim.events_executed,
+        "deliveries": net.stats.delivered,
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": int(sim.events_executed / wall) if wall else 0,
+        "pool_recycled": sim.queue.pool_recycled,
+        "pool_reused": sim.queue.pool_reused,
+        "pool_high_water": sim.queue.pool_high_water,
+    }
+    # traced pass: let the first third fill the pools and warm every
+    # cache, then require the steady-state remainder to stay flat
+    _configure(pooled)
+    sim, _net = _build_hello_sim(n)
+    tracemalloc.start()
+    sim.run(until=sim_seconds / 3.0)
+    gc.collect()
+    at_warmup, _ = tracemalloc.get_traced_memory()
+    sim.run(until=sim_seconds)
+    gc.collect()
+    at_end, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    point["traced_warmup_bytes"] = at_warmup
+    point["traced_end_bytes"] = at_end
+    point["traced_growth_bytes"] = at_end - at_warmup
+    point["traced_peak_bytes"] = peak
+    return point
+
+
+def _worker_gauges(pooled: bool) -> dict:
+    """One interned Table I trial with metrics on; dump the gauges."""
+    _configure(pooled)
+    config = TrialConfig(
+        seed=1, attack=ATTACK_SINGLE, attacker_cluster=4,
+        metrics=True,
+        channel=ChannelConfig(account_bytes=True, intern_wire=True),
+    )
+    result = run_trial(config)
+    gauges: dict = {}
+    for name in (
+        "net.packet.interned",
+        "net.packet.cow_copies",
+        "sim.pool.recycled",
+        "sim.pool.reused",
+        "sim.pool.high_water",
+    ):
+        entry = result.metrics.get(name)
+        if isinstance(entry, dict):  # gauges snapshot as value/high_water
+            gauges[name] = entry["value"]
+        elif entry is not None:
+            gauges[name] = entry
+    stats = frozen.stats()
+    gauges["frozen_instances"] = stats["frozen"]
+    gauges["intern_table_live"] = stats["live"]
+    return gauges
+
+
+def _spawn(worker: str, pooled: bool, extra: list[str]) -> dict:
+    cmd = [sys.executable, str(Path(__file__).resolve()), "--worker", worker]
+    if not pooled:
+        cmd.append("--no-pool")
+    cmd += extra
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"worker {worker} (pooled={pooled}) failed:\n{proc.stderr}"
+        )
+    for line in reversed(proc.stdout.splitlines()):
+        if line.startswith("RESULT "):
+            return json.loads(line[len("RESULT "):])
+    raise RuntimeError(f"worker {worker} printed no RESULT line")
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration
+# ----------------------------------------------------------------------
+def assert_trace_equivalence() -> None:
+    """Pool on and pool off must produce byte-identical traces."""
+    pooled = _spawn("table1-trace", True, [])
+    unpooled = _spawn("table1-trace", False, [])
+    if pooled != unpooled:
+        raise AssertionError(
+            f"pool on/off Table I traces diverge: {pooled} vs {unpooled}"
+        )
+
+
+def bench_table1(reps: int) -> dict:
+    point = {
+        "pooled": _spawn("table1", True, ["--reps", str(reps)]),
+        "unpooled": _spawn("table1", False, ["--reps", str(reps)]),
+    }
+    rate = point["pooled"]["events_per_sec"]
+    point["pool_speedup"] = round(
+        point["unpooled"]["wall_seconds"] / point["pooled"]["wall_seconds"], 2
+    )
+    point["pr4_anchor_events_per_sec"] = PR4_ANCHOR_EVENTS_PER_SEC
+    point["vs_pr4_anchor"] = round(rate / PR4_ANCHOR_EVENTS_PER_SEC, 2)
+    return point
+
+
+def bench_hello(n: int, sim_seconds: float) -> dict:
+    pooled = _spawn(
+        "hello", True,
+        ["--vehicles", str(n), "--sim-seconds", str(sim_seconds)],
+    )
+    unpooled = _spawn(
+        "hello", False,
+        ["--vehicles", str(n), "--sim-seconds", str(sim_seconds)],
+    )
+    if pooled["deliveries"] != unpooled["deliveries"]:
+        raise AssertionError(
+            f"hello sweep divergence at n={n}: {pooled['deliveries']} vs "
+            f"{unpooled['deliveries']} deliveries"
+        )
+    if pooled["traced_growth_bytes"] > FLAT_MEMORY_BUDGET:
+        raise AssertionError(
+            f"pooled steady state grew {pooled['traced_growth_bytes']} "
+            f"bytes (budget {FLAT_MEMORY_BUDGET})"
+        )
+    return {
+        "vehicles": n,
+        "sim_seconds": sim_seconds,
+        "flat_memory_budget_bytes": FLAT_MEMORY_BUDGET,
+        "pooled": pooled,
+        "unpooled": unpooled,
+        "pool_speedup": round(
+            unpooled["wall_seconds"] / pooled["wall_seconds"], 2
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reps", type=int, default=12,
+        help="Table I repetitions (best wall time wins)",
+    )
+    parser.add_argument(
+        "--vehicles", type=int, default=600,
+        help="population for the Hello-beacon sweep point",
+    )
+    parser.add_argument(
+        "--sim-seconds", type=float, default=30.0,
+        help="simulated duration of the Hello-beacon sweep point",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_packetpath.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: tiny population, equivalence + flat-memory "
+        "assertions, time budget, writes nothing",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=180.0,
+        help="smoke-mode wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--worker",
+        choices=["table1", "table1-trace", "hello", "gauges"],
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument("--no-pool", action="store_true", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.worker:
+        pooled = not args.no_pool
+        if args.worker == "table1":
+            out = _worker_table1(pooled, args.reps)
+        elif args.worker == "table1-trace":
+            out = _worker_table1_trace(pooled)
+        elif args.worker == "hello":
+            out = _worker_hello(pooled, args.vehicles, args.sim_seconds)
+        else:
+            out = _worker_gauges(pooled)
+        print("RESULT " + json.dumps(out))
+        return 0
+
+    if args.smoke:
+        args.reps = 3
+        args.vehicles = 100
+        args.sim_seconds = 9.0
+
+    started = time.perf_counter()
+    assert_trace_equivalence()
+    print("equivalence OK: pool on/off Table I traces are byte-identical")
+
+    table1 = bench_table1(args.reps)
+    for name in ("pooled", "unpooled"):
+        point = table1[name]
+        print(
+            f"table1 {name:>8}: {point['events']} events in "
+            f"{point['wall_seconds']:.4f}s = {point['events_per_sec']:,} ev/s "
+            f"(queue high-water {point['queue_high_water']})"
+        )
+    print(
+        f"table1 pool speedup {table1['pool_speedup']}x; "
+        f"{table1['vs_pr4_anchor']}x vs PR 4 anchor "
+        f"({PR4_ANCHOR_EVENTS_PER_SEC:,} ev/s)"
+    )
+
+    hello = bench_hello(args.vehicles, args.sim_seconds)
+    for name in ("pooled", "unpooled"):
+        point = hello[name]
+        print(
+            f"hello n={hello['vehicles']} {name:>8}: {point['events']} events "
+            f"in {point['wall_seconds']:.3f}s = {point['events_per_sec']:,} "
+            f"ev/s, steady-state growth {point['traced_growth_bytes']} B "
+            f"(pool high-water {point['pool_high_water']})"
+        )
+
+    gauges = _spawn("gauges", True, [])
+    print(f"gauges: {gauges}")
+    for name in ("sim.pool.recycled", "sim.pool.reused"):
+        if gauges.get(name, 0) <= 0:
+            print(f"FAIL: gauge {name} not populated on the pooled path")
+            return 1
+    if gauges.get("frozen_instances", 0) <= 0:
+        print("FAIL: wire interning never froze a packet")
+        return 1
+    total = time.perf_counter() - started
+
+    if args.smoke:
+        # Loose bound: the pool's job is allocation flatness (asserted
+        # above); Table I wall times on a noisy CI box swing +/-10%.
+        if table1["pool_speedup"] < 0.8:
+            print("FAIL: event pool much slower than allocation on Table I")
+            return 1
+        if total > args.budget:
+            print(f"FAIL: smoke exceeded {args.budget:.0f}s budget")
+            return 1
+        print(f"smoke OK ({total:.1f}s)")
+        return 0
+
+    payload = {
+        "benchmark": (
+            "zero-allocation packet path: pooled delivery events, "
+            "flyweight wire-backed packets and interning; Table I "
+            f"trial plus a {args.vehicles}-vehicle Hello sweep point, "
+            "pool on vs off, one subprocess per arm"
+        ),
+        "recorded": date.today().isoformat(),
+        "python": platform.python_version(),
+        "table1": table1,
+        "hello_sweep": hello,
+        "gauges": gauges,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

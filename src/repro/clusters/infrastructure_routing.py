@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - circular-import guard
     from repro.vehicles.vehicle import VehicleNode
 
 
-@dataclass
+@dataclass(slots=True)
 class MemberAnnouncement(Packet):
     """Join/leave delta pushed to the other cluster heads."""
 
@@ -41,7 +41,7 @@ class MemberAnnouncement(Packet):
     left: list[str] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class TunnelledData(Packet):
     """A data payload in transit over the wired backbone."""
 

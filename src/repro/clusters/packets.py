@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.net.packets import Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinRequest(Packet):
     """JREQ — sent (or broadcast, from an overlapped zone) by a vehicle
     entering a road segment.  Carries what the paper lists: "vehicle's
@@ -18,7 +18,7 @@ class JoinRequest(Packet):
     direction: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinReply(Packet):
     """JREP — the accepting cluster head's answer.  Contains "information
     such as the cluster head identity to be included in the packets"."""
@@ -27,7 +27,7 @@ class JoinReply(Packet):
     cluster_index: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class LeaveNotice(Packet):
     """Sent by a vehicle exiting the cluster; the CH moves the member
     from its routing table to its history table."""

@@ -3,6 +3,13 @@
 Everything the two phases exchange: authenticated Hello probes, the
 detection request/forward/result triple, and the isolation-phase
 revocation notices and member warnings.
+
+Layering contract (see :mod:`repro.net.packets`): this module owns the
+detection-layer packet *definitions* only.  Wire field order is defined
+once, in the codec registry (:mod:`repro.net.codec`) — changing or
+adding a field here requires updating the matching encoder/decoder
+there, and nothing else; the flyweight decode path
+(:mod:`repro.net.frozen`) picks the change up automatically.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ VERDICT_FLED = "fled"
 VERDICT_INCONCLUSIVE = "inconclusive"
 
 
-@dataclass
+@dataclass(slots=True)
 class SecureHello(Packet):
     """Authenticated Hello the originator pushes towards the destination
     through the route under verification.  Honest intermediates forward
@@ -40,7 +47,7 @@ class SecureHello(Packet):
         return f"hello-v1|{self.originator}|{self.target}|{self.nonce}".encode()
 
 
-@dataclass
+@dataclass(slots=True)
 class HelloReply(Packet):
     """The destination's authenticated answer, routed back hop-by-hop."""
 
@@ -54,7 +61,7 @@ class HelloReply(Packet):
         return f"hello-re-v1|{self.originator}|{self.responder}|{self.nonce}".encode()
 
 
-@dataclass
+@dataclass(slots=True)
 class DetectionRequest(Packet):
     """``d_req = <v_i, v_i^cy, v_B, v_B^cy>`` plus the suspicious RREP's
     certificate ("selective information from the suspicious RREP") so the
@@ -67,7 +74,7 @@ class DetectionRequest(Packet):
     suspect_certificate: "Certificate | None" = field(default=None, repr=False)
 
 
-@dataclass
+@dataclass(slots=True)
 class DetectionForward(Packet):
     """CH-to-CH hand-off of a detection case over the wired backbone.
 
@@ -90,7 +97,7 @@ class DetectionForward(Packet):
     direction: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class DetectionResult(Packet):
     """The CH's verdict, returned to the reporting vehicle (relayed via
     the reporter's own CH when it lives in a different cluster)."""
@@ -103,7 +110,7 @@ class DetectionResult(Packet):
     relay: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class RevocationNoticePacket(Packet):
     """Isolation phase: revoked-certificate entries pushed to adjacent
     cluster heads (id, serial and expiration time per entry)."""
@@ -113,7 +120,7 @@ class RevocationNoticePacket(Packet):
     hops_remaining: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class MemberWarning(Packet):
     """CH-to-members warning listing revoked pseudonyms to blacklist."""
 

@@ -180,21 +180,34 @@ class InfrastructureWatchdog:
             return
         if intended in self.convicted:
             return
-        obligation = _Obligation(
-            member=intended,
-            originator=packet.originator,
-            final_destination=packet.final_destination,
-            hops_travelled=packet.hops_travelled,
-            deadline=self.rsu.sim.now + self.config.grace,
-        )
         bucket = self._pending.setdefault(intended, [])
         ledger = self.ledgers.setdefault(intended, ForwardingLedger())
         ledger.observed += 1
-        if any(existing.is_duplicate_of(obligation) for existing in bucket):
-            # A duplicate radio copy of a hand-off already on the books:
-            # the member owes one onward transmission for this packet,
-            # so no second obligation (and no second grace timer).
-            return
+        originator = packet.originator
+        final_destination = packet.final_destination
+        hops_travelled = packet.hops_travelled
+        deadline = self.rsu.sim.now + self.config.grace
+        for existing in bucket:
+            if (
+                existing.originator == originator
+                and existing.final_destination == final_destination
+                and existing.hops_travelled == hops_travelled
+                and existing.deadline == deadline
+            ):
+                # A duplicate radio copy of a hand-off already on the
+                # books: the member owes one onward transmission for this
+                # packet, so no second obligation (and no second grace
+                # timer).  Checked field-by-field *before* allocating the
+                # obligation — duplicates are the common case in dense
+                # clusters.
+                return
+        obligation = _Obligation(
+            member=intended,
+            originator=originator,
+            final_destination=final_destination,
+            hops_travelled=hops_travelled,
+            deadline=deadline,
+        )
         bucket.append(obligation)
         self.rsu.sim.schedule(
             self.config.grace,

@@ -21,14 +21,14 @@ def ms_to_kmh(ms: float) -> float:
     return ms * 3.6
 
 
-@dataclass
+@dataclass(slots=True)
 class _Segment:
     start_time: float
     start_x: float
     speed: float  # signed m/s; sign encodes direction
 
 
-@dataclass
+@dataclass(slots=True)
 class VehicleMotion:
     """1-D longitudinal motion along the highway plus a fixed lane offset.
 
@@ -56,15 +56,23 @@ class VehicleMotion:
     speed: float
     lane_y: float = 0.0
     _segments: list[_Segment] = field(default_factory=list, repr=False)
+    # Position memo for the common "many queries at the same instant"
+    # pattern (broadcast fan-out evaluates every candidate once per
+    # transmission).  Keyed by (t, segment count) held as two scalar
+    # slots — cheaper than building a key tuple per query — and a pure
+    # function of both, so set_speed invalidates it naturally.  The nan
+    # sentinel compares unequal to every t, so the first query misses.
+    _cached_t: float = field(
+        default=float("nan"), init=False, repr=False, compare=False
+    )
+    _cached_nseg: int = field(default=0, init=False, repr=False, compare=False)
+    _cached_position: tuple[float, float] = field(
+        default=(0.0, 0.0), init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self._segments.append(_Segment(self.entry_time, self.entry_x, self.speed))
-        # Position memo for the common "many queries at the same instant"
-        # pattern (broadcast fan-out evaluates every candidate once per
-        # transmission).  Keyed by (t, segment count): pure function of
-        # both, so set_speed invalidates it naturally.
-        self._cached_query: tuple[float, int] | None = None
-        self._cached_position: tuple[float, float] = (self.entry_x, self.lane_y)
+        self._cached_position = (self.entry_x, self.lane_y)
 
     def _segment_at(self, t: float) -> _Segment:
         if t < self.entry_time:
@@ -85,17 +93,41 @@ class VehicleMotion:
         return segment.start_x + segment.speed * (t - segment.start_time)
 
     def position(self, t: float) -> tuple[float, float]:
-        """Full ``(x, y)`` position at time ``t``."""
-        query = (t, len(self._segments))
-        if query == self._cached_query:
+        """Full ``(x, y)`` position at time ``t``.
+
+        Inlines :meth:`_segment_at`/:meth:`x` (expression-for-expression
+        identical arithmetic, so results are bit-equal): this is the
+        hottest call in the radio layer — every broadcast fan-out,
+        neighbour query and overhear check lands here.
+        """
+        segments = self._segments
+        nseg = len(segments)
+        if t == self._cached_t and nseg == self._cached_nseg:
             return self._cached_position
-        position = (self.x(t), self.lane_y)
-        self._cached_query = query
+        if t < self.entry_time:
+            raise ValueError(
+                f"queried t={t} before entry_time={self.entry_time}"
+            )
+        current = segments[0]
+        for segment in segments[1:]:
+            if segment.start_time <= t:
+                current = segment
+            else:
+                break
+        position = (
+            current.start_x + current.speed * (t - current.start_time),
+            self.lane_y,
+        )
+        self._cached_t = t
+        self._cached_nseg = nseg
         self._cached_position = position
         return position
 
     def speed_at(self, t: float) -> float:
         """Signed speed in effect at time ``t``."""
+        segments = self._segments
+        if len(segments) == 1 and t >= self.entry_time:
+            return segments[0].speed  # constant-speed fast path
         return self._segment_at(t).speed
 
     def set_speed(self, t: float, speed: float) -> None:

@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 DEFAULT_MAX_SPEED = 70.0
 
 
-@dataclass
+@dataclass(slots=True)
 class NeighborBeacon(Packet):
     """Signed one-hop presence announcement."""
 

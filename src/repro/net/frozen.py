@@ -1,0 +1,258 @@
+"""Flyweight wire-backed packets and the process-wide intern table.
+
+A :class:`FrozenPacket` is an immutable *view* over one encoded wire
+buffer (:mod:`repro.net.codec` format).  It decodes lazily: the 4-byte
+header is validated at construction, the common ``src``/``dst`` strings
+are peeked on first use, and any other field access triggers one full
+decode whose result is cached on the instance.  Freezing is therefore
+near-free for packets that are only stored, sized or routed by address,
+and costs exactly one decode for packets that are actually inspected.
+
+Interning
+---------
+:func:`from_wire` interns by buffer content: two calls with identical
+bytes return the *same* ``FrozenPacket``, so per-instance memos —
+``wire_size`` (the buffer length), the :meth:`FrozenPacket.signed_payload`
+bytes fed to the signature cache, the cached decode — collapse into
+identity lookups.  The table holds weak references only; a frozen
+packet nobody retains is collected normally, and the table is guarded
+by a lock so the module stays safe under free-threaded builds.
+
+Copy-on-write
+-------------
+Frozen packets are immutable (``__setattr__`` raises).  A layer that
+must mutate one — an attacker rewriting a reply, a protocol bumping a
+hop count — calls :meth:`FrozenPacket.thaw` for a fresh mutable
+:class:`~repro.net.packets.Packet` (a new ``uid`` is drawn, exactly as
+receiving a copy off the air would).  Thaws are counted in
+``cow_copies``; an all-read-only workload stays at zero.
+
+Snapshots
+---------
+Pickling a frozen packet reduces to ``(from_wire, (wire,))``, so a
+restored world re-interns every buffer and shared-identity relations
+survive restore.  The monotonic counters (``interned``/``frozen``/
+``cow_copies``) are process globals captured and rewound by
+:mod:`repro.snapshot.state` alongside the packet-uid allocator, keeping
+the obs gauges continuous across a restore (restore-equals-never-paused).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from repro.net import codec
+from repro.net.packets import Packet
+
+_lock = threading.Lock()
+_table: "weakref.WeakValueDictionary[bytes, FrozenPacket]" = (
+    weakref.WeakValueDictionary()
+)
+#: intern hits: calls served an already-interned instance
+_interned = 0
+#: distinct frozen instances ever created
+_frozen = 0
+#: thaws: mutable copies made because a layer needed to write
+_cow_copies = 0
+
+
+class FrozenPacket:
+    """Immutable lazy-decoding view over one encoded packet.
+
+    Field access works like on the mutable packet it encodes —
+    ``frozen.originator``, ``frozen.describe()`` — via delegation to a
+    cached one-time decode; ``src``/``dst``/``kind``/``wire_size`` are
+    served from the header without decoding the body.  Obtain instances
+    through :func:`from_wire` or :func:`freeze` (interning is what makes
+    the memos identity lookups); the constructor itself is internal.
+    """
+
+    __slots__ = (
+        "wire",
+        "tag",
+        "_src",
+        "_dst",
+        "_decoded",
+        "_payload_memo",
+        "__weakref__",
+    )
+
+    def __init__(self, wire: bytes, tag: int) -> None:
+        set_ = object.__setattr__
+        set_(self, "wire", wire)
+        set_(self, "tag", tag)
+        set_(self, "_src", None)
+        set_(self, "_dst", None)
+        set_(self, "_decoded", None)
+        set_(self, "_payload_memo", None)
+
+    # -- immutability ---------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(
+            f"FrozenPacket is immutable; thaw() for a mutable copy "
+            f"(tried to set {name!r})"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("FrozenPacket is immutable")
+
+    # -- header-only fields ---------------------------------------------
+    def _peek(self) -> None:
+        src, dst = codec.peek_addresses(self.wire)
+        object.__setattr__(self, "_src", src)
+        object.__setattr__(self, "_dst", dst)
+
+    @property
+    def src(self) -> str:
+        if self._src is None:
+            self._peek()
+        return self._src
+
+    @property
+    def dst(self) -> str:
+        if self._dst is None:
+            self._peek()
+        return self._dst
+
+    @property
+    def kind(self) -> str:
+        """Packet-type name, resolved from the wire tag (no decode)."""
+        return codec.packet_class(self.tag).__name__
+
+    @property
+    def packet_type(self) -> type:
+        """The mutable packet class this buffer decodes to."""
+        return codec.packet_class(self.tag)
+
+    @property
+    def wire_size(self) -> int:
+        """True wire size — the buffer length, no encode needed."""
+        return len(self.wire)
+
+    @property
+    def _wire_size(self) -> int:
+        # codec.wire_size() probes this memo attribute; answering it here
+        # makes the function an O(1) lookup for frozen packets.
+        return len(self.wire)
+
+    # -- lazy full decode ------------------------------------------------
+    @property
+    def _packet(self) -> Packet:
+        decoded = self._decoded
+        if decoded is None:
+            decoded = codec.decode(self.wire)
+            object.__setattr__(self, "_decoded", decoded)
+        return decoded
+
+    def __getattr__(self, name: str):
+        # Normal lookup failed: the request is for a body field or method
+        # of the concrete packet type — decode once and delegate.
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return getattr(self._packet, name)
+
+    def signed_payload(self) -> bytes:
+        """Canonical signature-covered bytes, memoised per instance.
+
+        Interning makes this an identity memo: every holder of the same
+        wire buffer feeds the *same* bytes object to the signature
+        cache, so repeated verifications hash an already-hashed key.
+        Raises ``AttributeError`` for packet types with no envelope,
+        exactly like the mutable packet would.
+        """
+        payload = self._payload_memo
+        if payload is None:
+            payload = self._packet.signed_payload()
+            object.__setattr__(self, "_payload_memo", payload)
+        return payload
+
+    # -- copy-on-write ----------------------------------------------------
+    def thaw(self) -> Packet:
+        """Decode a fresh *mutable* packet (the copy-on-write trigger).
+
+        Draws a new ``uid``, exactly as decoding a received buffer
+        would; the frozen instance and the intern table are untouched.
+        """
+        global _cow_copies
+        with _lock:
+            _cow_copies += 1
+        return codec.decode(self.wire)
+
+    # -- plumbing ----------------------------------------------------------
+    def __reduce__(self):
+        return (from_wire, (self.wire,))
+
+    def describe(self) -> str:
+        """One-line rendering for traces (no uid: flyweights share)."""
+        return f"{self.kind}[frozen:{len(self.wire)}B] {self.src}->{self.dst}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FrozenPacket {self.describe()}>"
+
+
+def from_wire(data: bytes) -> FrozenPacket:
+    """Validate, intern and return the canonical frozen view of ``data``.
+
+    Identical buffers share one instance for as long as anyone holds it
+    (weak interning).  Raises :class:`~repro.net.codec.CodecError` on a
+    malformed header; body corruption surfaces on first field access.
+    """
+    global _interned, _frozen
+    wire = bytes(data)
+    tag = codec.peek_tag(wire)
+    with _lock:
+        packet = _table.get(wire)
+        if packet is not None:
+            _interned += 1
+            return packet
+        packet = FrozenPacket(wire, tag)
+        _table[wire] = packet
+        _frozen += 1
+        return packet
+
+
+def freeze(packet: Packet | FrozenPacket) -> FrozenPacket:
+    """Encode a mutable packet and intern the result.
+
+    Frozen input is returned unchanged, making ``freeze`` idempotent at
+    wire boundaries.
+    """
+    if isinstance(packet, FrozenPacket):
+        return packet
+    return from_wire(codec.encode(packet))
+
+
+# ----------------------------------------------------------------------
+# Health / snapshot plumbing
+# ----------------------------------------------------------------------
+def stats() -> dict[str, int]:
+    """Current intern-table health (feeds the obs gauges)."""
+    with _lock:
+        return {
+            "live": len(_table),
+            "interned": _interned,
+            "frozen": _frozen,
+            "cow_copies": _cow_copies,
+        }
+
+
+def capture_counters() -> tuple[int, int, int]:
+    """Snapshot hook: the monotonic counters as process-global state."""
+    with _lock:
+        return (_interned, _frozen, _cow_copies)
+
+
+def apply_counters(counters: tuple[int, int, int]) -> None:
+    """Snapshot hook: rewind the counters to a captured position."""
+    global _interned, _frozen, _cow_copies
+    with _lock:
+        _interned, _frozen, _cow_copies = counters
+
+
+def reset() -> None:
+    """Drop the table and zero the counters (test/benchmark isolation)."""
+    global _interned, _frozen, _cow_copies
+    with _lock:
+        _table.clear()
+        _interned = _frozen = _cow_copies = 0

@@ -34,7 +34,7 @@ from typing import Callable
 
 import networkx as nx
 
-from repro.net.node import Node
+from repro.net.node import _UNRESOLVED, Node
 from repro.net.packets import Packet
 from repro.net.spatial import SpatialIndex
 from repro.sim.simulator import Simulator
@@ -62,6 +62,13 @@ class ChannelConfig:
         binary wire codec and per-kind byte totals are accumulated in
         the stats (one encode per packet *instance* — the size is
         memoised by :func:`repro.net.codec.wire_size`; off by default).
+    intern_wire:
+        When True (requires ``account_bytes``), each packet's first
+        encode is also interned through :func:`repro.net.frozen.freeze`,
+        so identical transmissions share one
+        :class:`~repro.net.frozen.FrozenPacket` and the
+        ``net.packet.interned`` gauge tracks wire-level duplication.
+        Off by default: accounting alone does not need the table.
     batch_broadcast:
         When True (default) a broadcast schedules one delivery event
         per distinct arrival time carrying the frozen receiver list,
@@ -90,6 +97,7 @@ class ChannelConfig:
     loss_rate: float = 0.0
     wired_hop_delay: float = 0.001
     account_bytes: bool = False
+    intern_wire: bool = False
     batch_broadcast: bool = True
     spatial_index: bool = True
     spatial_guard_band: float = 50.0
@@ -289,6 +297,13 @@ class Network:
         from repro.net.codec import CodecError, wire_size
 
         try:
+            if self.config.intern_wire and packet._wire_size is None:
+                # First sight of this instance: intern its wire form so
+                # identical packets elsewhere share one frozen view (and
+                # seed the _wire_size memo in the same single encode).
+                from repro.net.frozen import freeze
+
+                packet._wire_size = freeze(packet).wire_size
             packet.size_bytes = wire_size(packet)
         except CodecError:
             pass  # unregistered test packets keep their nominal size
@@ -324,6 +339,10 @@ class Network:
         # in_range is index-accelerated: far-away monitors are rejected
         # from snapshot cells without a distance computation.
         sender_address = packet.src or sender.address
+        sim = self.sim
+        arrival = sim.now + self.config.per_hop_delay
+        push_delivery = sim.queue.push_delivery
+        pool = sim.pool_events
         if self.config.batch_broadcast:
             entries = tuple(
                 entry
@@ -331,21 +350,23 @@ class Network:
                 if entry[0] is not sender and self.in_range(sender, entry[0])
             )
             if entries:
-                self.sim.schedule(
-                    self.config.per_hop_delay,
+                push_delivery(
+                    arrival,
                     self._overhear_arrive,
-                    args=(entries, packet, sender_address),
-                    label=f"overhear {packet.kind}",
+                    (entries, packet, sender_address),
+                    f"overhear {packet.kind}",
+                    pool,
                 )
             return
         for monitor, callback in self._monitors:
             if monitor is sender or not self.in_range(sender, monitor):
                 continue
-            self.sim.schedule(
-                self.config.per_hop_delay,
+            push_delivery(
+                arrival,
                 self._overhear_arrive_one,
-                args=(monitor, callback, packet, sender_address),
-                label=f"overhear {packet.kind}",
+                (monitor, callback, packet, sender_address),
+                f"overhear {packet.kind}",
+                pool,
             )
 
     def _overhear_arrive(
@@ -366,6 +387,17 @@ class Network:
         if (monitor, callback) in self._monitors:
             callback(packet, sender_address, packet.dst)
 
+    _deliver_labels: dict[str, str] = {}
+
+    def _deliver_label(self, kind: str) -> str:
+        """Memoised ``f"deliver {kind}"`` (packet kinds are a small
+        closed set, and the hot paths build this label per send)."""
+        labels = Network._deliver_labels
+        label = labels.get(kind)
+        if label is None:
+            label = labels[kind] = f"deliver {kind}"
+        return label
+
     def _observe_drop(self, sender: Node, packet: Packet, cause: str) -> None:
         obs = self.sim.obs
         if obs.metrics is not None:
@@ -375,9 +407,14 @@ class Network:
 
     def transmit(self, sender: Node, packet: Packet) -> None:
         """Send ``packet``; broadcast fans out to all in-range nodes."""
-        self.stats.sent += 1
-        self.stats.by_kind[packet.kind] += 1
-        self._account_bytes(packet)
+        stats = self.stats
+        stats.sent += 1
+        stats.by_kind[packet.kind] += 1
+        # Guarded at the call site: byte accounting and overhearing are
+        # both off in the common configuration, and the no-op call frames
+        # add up at flood rates.
+        if self.config.account_bytes:
+            self._account_bytes(packet)
         obs = self.sim.obs
         if obs.metrics is not None:
             obs.metrics.counter("net.sent", kind=packet.kind).inc()
@@ -385,7 +422,8 @@ class Network:
             obs.trace.emit(sender.node_id, "net.send", packet)
         for tap in self.taps:
             tap(packet, "air")
-        self._overhear(sender, packet)
+        if self._monitors:
+            self._overhear(sender, packet)
         if packet.dst == BROADCAST:
             receivers = self.neighbors(sender)
             if self.config.batch_broadcast:
@@ -436,20 +474,73 @@ class Network:
             else:
                 bucket.append(receiver)
         sender_address = packet.src or sender.address
-        label = f"deliver {packet.kind}"
+        labels = Network._deliver_labels
+        kind = packet.kind
+        label = labels.get(kind)
+        if label is None:
+            label = labels[kind] = f"deliver {kind}"
+        sim = self.sim
+        now = sim.now
+        push_delivery = sim.queue.push_delivery
+        pool = sim.pool_events
+        arrive_batch = self._arrive_batch
         for delay, batch in groups.items():
-            self.sim.schedule(
-                delay,
-                self._arrive_batch,
-                args=(tuple(batch), packet, sender_address),
-                label=label,
+            push_delivery(
+                now + delay,
+                arrive_batch,
+                (tuple(batch), packet, sender_address),
+                label,
+                pool,
             )
 
     def _arrive_batch(
         self, receivers: tuple, packet: Packet, sender_address: str
     ) -> None:
+        # Inlined _arrive with the per-packet lookups hoisted: one stats
+        # object, one counter resolution and one trace check for the
+        # whole batch instead of one per receiver.  Emission order is
+        # identical to per-receiver delivery.
+        stats = self.stats
+        obs = self.sim.obs
+        if obs.metrics is None and obs.trace is None:
+            # Observability dark (the profiled/production default): the
+            # loop is just accounting plus dispatch, with the body of
+            # Node.on_receive inlined — the broadcast fan-out delivers
+            # the same packet type to every receiver, so the type lookup
+            # hoists out of the loop and each receiver pays only its own
+            # gate check and handler call.
+            ptype = type(packet)
+            for receiver in receivers:
+                if receiver.network is self:
+                    stats.delivered += 1
+                    gate = receiver.gate
+                    if gate is not None and not gate(packet, sender_address):
+                        receiver.packets_gated += 1
+                        continue
+                    receiver.packets_received += 1
+                    handler = receiver._dispatch_cache.get(ptype, _UNRESOLVED)
+                    if handler is _UNRESOLVED:
+                        handler = receiver._resolve_handler(ptype)
+                    if handler is not None:
+                        handler(packet, sender_address)
+                    else:
+                        receiver.handle_unknown(packet, sender_address)
+            return
+        counter = (
+            obs.metrics.counter("net.delivered", kind=packet.kind)
+            if obs.metrics is not None
+            else None
+        )
+        trace = obs.trace
         for receiver in receivers:
-            self._arrive(receiver, packet, sender_address)
+            if receiver.network is not self:
+                continue
+            stats.delivered += 1
+            if counter is not None:
+                counter.inc()
+            if trace is not None:
+                trace.emit(receiver.node_id, "net.deliver", packet)
+            receiver.on_receive(packet, sender_address)
 
     def _deliver(self, sender: Node, receiver: Node, packet: Packet) -> None:
         if self.config.loss_rate and self._rng.random() < self.config.loss_rate:
@@ -463,11 +554,13 @@ class Network:
         # transmitting under an alias (disposable identity) is seen as
         # that alias by the receiver, not as its primary address.
         sender_address = packet.src or sender.address
-        self.sim.schedule(
-            delay,
+        sim = self.sim
+        sim.queue.push_delivery(
+            sim.now + delay,
             self._arrive,
-            args=(receiver, packet, sender_address),
-            label=f"deliver {packet.kind}",
+            (receiver, packet, sender_address),
+            self._deliver_label(packet.kind),
+            sim.pool_events,
         )
 
     def _arrive(self, receiver: Node, packet: Packet, sender_address: str) -> None:
@@ -530,6 +623,7 @@ class Network:
             self._arrive_backbone,
             args=(receiver, packet, sender.address),
             label=f"backbone {packet.kind}",
+            pooled=True,
         )
         return True
 

@@ -15,12 +15,17 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.net.packets import Packet
+from repro.sim.logging import DEBUG
 from repro.sim.simulator import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.network import Network
 
 Handler = Callable[[Packet, str], None]
+
+#: Cache-miss sentinel for the dispatch fast path: ``None`` is a valid
+#: cached resolution ("no handler"), so absence needs its own marker.
+_UNRESOLVED = object()
 
 
 class Node:
@@ -37,6 +42,12 @@ class Node:
     transmission_range:
         Radio range in metres (paper/DSRC: up to 1000 m).
     """
+
+    #: Signed speed in m/s.  Stationary infrastructure keeps this class
+    #: default; vehicles override it with a kinematics-backed property.
+    #: A plain attribute (not ``getattr`` with a fallback at use sites)
+    #: keeps the spatial index's per-rebuild top-speed scan cheap.
+    speed: float = 0.0
 
     def __init__(
         self,
@@ -160,7 +171,12 @@ class Node:
             self.packets_gated += 1
             return
         self.packets_received += 1
-        handler = self._resolve_handler(type(packet))
+        # Inlined cache hit (the overwhelmingly common case); the
+        # sentinel keeps "cached as unhandled" distinct from "never
+        # resolved" so the MRO walk runs once per type.
+        handler = self._dispatch_cache.get(type(packet), _UNRESOLVED)
+        if handler is _UNRESOLVED:
+            handler = self._resolve_handler(type(packet))
         if handler is not None:
             handler(packet, sender_address)
         else:
@@ -168,9 +184,12 @@ class Node:
 
     def handle_unknown(self, packet: Packet, sender_address: str) -> None:
         """Hook for packets with no registered handler; default: log."""
-        self.sim.logger.debug(
-            self.node_id, f"dropping unhandled {packet.describe()}"
-        )
+        logger = self.sim.logger
+        # Level check before the f-string: unhandled packets are common
+        # (non-member broadcasts) and the rendered message is pure waste
+        # at the default WARNING threshold.
+        if logger.level <= DEBUG:
+            logger.debug(self.node_id, f"dropping unhandled {packet.describe()}")
 
     def __repr__(self) -> str:
         x, y = self.position

@@ -88,10 +88,22 @@ class SpatialIndex:
         self.max_speed = float(max_speed)
         self._cells: dict[Cell, list[Node]] = {}
         self._cell_of: dict[Node, Cell] = {}
+        #: snapshot position per indexed node, taken at (re)build or
+        #: incremental insert; lets queries classify most candidates
+        #: without evaluating their lazy kinematics (see neighbors())
+        self._snap: dict[Node, tuple[float, float]] = {}
+        #: the v_max the current epoch's validity window was derived
+        #: from; bounds any indexed node's drift since ``built_at``
+        self._top_speed = float(max_speed)
         #: attach sequence numbers; query results sort by these so the
         #: grid returns neighbours in exactly brute-force (attach) order
         self._order: dict[Node, int] = {}
         self._next_order = 0
+        #: True while every cell bucket is ascending in attach order
+        #: (rebuilds guarantee it; an incremental move() can break it by
+        #: re-filing an old node into a new bucket).  Lets single-bucket
+        #: queries skip their result sort.
+        self._buckets_ordered = True
         self._cell_size = 0.0
         self._built_at = -math.inf
         self._valid_until = -math.inf
@@ -133,14 +145,24 @@ class SpatialIndex:
         self.incremental_updates += 1
 
     def _insert(self, node: Node) -> None:
-        cell = self._cell_at(node.position)
+        position = node.position
+        cell = self._cell_at(position)
         bucket = self._cells.get(cell)
         if bucket is None:
             bucket = self._cells[cell] = []
+        elif bucket and self._buckets_ordered:
+            order = self._order
+            if order.get(bucket[-1], -1) > order.get(node, -1):
+                # re-filed mover lands behind a younger node
+                self._buckets_ordered = False
         bucket.append(node)
         self._cell_of[node] = cell
+        # Snapshotted at insert time (>= built_at), so the epoch drift
+        # bound v_max * (now - built_at) still covers this node.
+        self._snap[node] = position
 
     def _evict(self, node: Node) -> None:
+        self._snap.pop(node, None)
         cell = self._cell_of.pop(node, None)
         if cell is None:
             return
@@ -174,26 +196,39 @@ class SpatialIndex:
         for node in self.net.nodes:
             if node.transmission_range > size:
                 size = node.transmission_range
-        self._cell_size = size if size > 0 else 1.0
+        size = self._cell_size = size if size > 0 else 1.0
         cells: dict[Cell, list[Node]] = {}
         cell_of: dict[Node, Cell] = {}
+        snap: dict[Node, tuple[float, float]] = {}
         top_speed = self.max_speed
+        floor = math.floor
+        # One flat pass: _cell_at is inlined (identical floor/divide
+        # arithmetic) and speed reads the Node attribute directly — this
+        # loop touches every node on every epoch expiry.
         for node in self.net.nodes:
-            speed = abs(getattr(node, "speed", 0.0))
+            speed = node.speed
+            if speed < 0.0:
+                speed = -speed
             if speed > top_speed:
                 top_speed = speed
-            cell = self._cell_at(node.position)
+            position = node.position
+            x, y = position
+            cell = (floor(x / size), floor(y / size))
             bucket = cells.get(cell)
             if bucket is None:
                 bucket = cells[cell] = []
             bucket.append(node)
             cell_of[node] = cell
+            snap[node] = position
         self._cells = cells
         self._cell_of = cell_of
+        self._snap = snap
+        self._top_speed = top_speed
         self._built_at = sim.now
         self._valid_until = sim.now + (
             self.guard_band / top_speed if top_speed > 0 else math.inf
         )
+        self._buckets_ordered = True
         self._dirty = False
         self.rebuilds += 1
         obs = sim.obs
@@ -238,12 +273,74 @@ class SpatialIndex:
         # guard-band-widened disk around the querier covers every
         # candidate snapshot.
         reach = node.transmission_range + self.guard_band
-        pair_in_range = self.net._pair_in_range
-        return [
-            other
-            for other in self.candidates(node.position, reach)
-            if pair_in_range(node, other)
-        ]
+        # Inlined candidates() + _pair_in_range.  Filtering candidates
+        # cell-by-cell and sorting only the survivors is equivalent to
+        # sort-then-filter — the attach-order sort key is position-
+        # independent — but skips materialising the superset list.
+        #
+        # Drift-bound classification: a candidate's *current* position
+        # lies within ``slack = v_max * (now - built_at)`` metres of its
+        # snapshot (the same bound the epoch validity window enforces),
+        # so a snapshot distance at most ``limit - slack`` is provably
+        # in range and one beyond ``limit + slack`` provably out — only
+        # candidates inside that boundary band pay the exact kinematic
+        # position evaluation, through the *identical* oracle
+        # expression, so the result list matches the brute-force scan
+        # bit-for-bit.  The extra millimetre widens the band to absorb
+        # the rounding of the squared-compare fast path; it can only
+        # send borderline candidates to the exact check, never decide
+        # them.
+        nx, ny = node.position
+        node_range = node.transmission_range
+        size = self._cell_size
+        floor = math.floor
+        x0 = floor((nx - reach) / size)
+        x1 = floor((nx + reach) / size)
+        y0 = floor((ny - reach) / size)
+        y1 = floor((ny + reach) / size)
+        cells = self._cells
+        snap = self._snap
+        slack = (
+            self._top_speed * (self.net.sim.now - self._built_at) + 1e-3
+        )
+        result: list[Node] = []
+        append = result.append
+        contributors = 0
+        for cx in range(x0, x1 + 1):
+            for cy in range(y0, y1 + 1):
+                bucket = cells.get((cx, cy))
+                if not bucket:
+                    continue
+                before = len(result)
+                for other in bucket:
+                    if other is node:
+                        continue
+                    other_range = other.transmission_range
+                    limit = (
+                        node_range if node_range <= other_range else other_range
+                    )
+                    sx, sy = snap[other]
+                    sdx = nx - sx
+                    sdy = ny - sy
+                    d2 = sdx * sdx + sdy * sdy
+                    inner = limit - slack
+                    if inner > 0.0 and d2 <= inner * inner:
+                        append(other)  # in range even at maximal drift
+                        continue
+                    outer = limit + slack
+                    if d2 > outer * outer:
+                        continue  # out of range even at maximal drift
+                    ox, oy = other.position
+                    if ((nx - ox) ** 2 + (ny - oy) ** 2) ** 0.5 <= limit:
+                        append(other)
+                if len(result) != before:
+                    contributors += 1
+        # A single contributing bucket is already in attach order (the
+        # rebuild files nodes in net.nodes order) unless an incremental
+        # move broke bucket ordering; everything else merges via sort.
+        if contributors > 1 or not self._buckets_ordered:
+            result.sort(key=self._order.__getitem__)
+        return result
 
     def maybe_in_range(self, a: Node, b: Node) -> bool:
         """Cheap necessary condition for ``in_range(a, b)``.

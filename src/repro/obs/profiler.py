@@ -99,7 +99,10 @@ class RunProfiler:
         self.busy_seconds = 0.0
         self.queue_high_water = 0
         self._label_limit = label_limit
-        self._by_label: dict[str, LabelCost] = {}
+        #: label -> [count, seconds]; plain lists, not LabelCost objects,
+        #: because this is written once per executed event — the objects
+        #: are materialised only when a report is asked for
+        self._by_label: dict[str, list] = {}
         self._run_started: float | None = None
         self._wall_seconds = 0.0
         self._sim_start = 0.0
@@ -122,15 +125,16 @@ class RunProfiler:
         """Account one executed event against its label."""
         self.events += 1
         self.busy_seconds += seconds
-        cost = self._by_label.get(label)
-        if cost is None:
-            if len(self._by_label) >= self._label_limit:
+        by_label = self._by_label
+        entry = by_label.get(label)
+        if entry is None:
+            if len(by_label) >= self._label_limit:
                 label = "(other)"
-                cost = self._by_label.get(label)
-            if cost is None:
-                cost = self._by_label[label] = LabelCost(label)
-        cost.count += 1
-        cost.seconds += seconds
+                entry = by_label.get(label)
+            if entry is None:
+                entry = by_label[label] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += seconds
 
     def note_queue_depth(self, depth: int) -> None:
         if depth > self.queue_high_water:
@@ -145,7 +149,12 @@ class RunProfiler:
         if self._run_started is not None:  # report mid-run: include partial
             wall += self.clock() - self._run_started
         breakdown = sorted(
-            self._by_label.values(), key=lambda c: c.seconds, reverse=True
+            (
+                LabelCost(label, count, seconds)
+                for label, (count, seconds) in self._by_label.items()
+            ),
+            key=lambda c: c.seconds,
+            reverse=True,
         )
         return ProfileReport(
             events=self.events,

@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 UNKNOWN_SEQ = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class RouteRequest(Packet):
     """RREQ — broadcast route discovery.
 
@@ -47,7 +47,7 @@ class RouteRequest(Packet):
         return (self.originator, self.rreq_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class RouteReply(Packet):
     """RREP — unicast back along the reverse path.
 
@@ -98,14 +98,14 @@ class RouteReply(Packet):
         return self.certificate is not None and self.signature is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class RouteError(Packet):
     """RERR — reports destinations now unreachable through the sender."""
 
     unreachable: list[tuple[str, int]] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class HelloBeacon(Packet):
     """Periodic 1-hop connectivity beacon (AODV route maintenance)."""
 
@@ -113,7 +113,7 @@ class HelloBeacon(Packet):
     originator_seq: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class DataPacket(Packet):
     """Application payload, forwarded hop-by-hop along discovered routes."""
 

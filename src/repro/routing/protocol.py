@@ -169,6 +169,9 @@ class AodvProtocol:
         identity: IdentityProvider | None = None,
     ) -> None:
         self.node = node
+        #: plain attribute, not a property: the simulator never changes
+        #: after attach and the hot handlers read ``self.sim`` constantly
+        self.sim = node.sim
         self.config = config or AodvConfig()
         self.identity = identity
         #: optional provider of the node's current cluster index, stamped
@@ -206,10 +209,6 @@ class AodvProtocol:
     @property
     def address(self) -> str:
         return self.node.address
-
-    @property
-    def sim(self):
-        return self.node.sim
 
     def _count_route_update(self) -> None:
         """Mirror accepted routing-table installs into the metrics
@@ -302,9 +301,12 @@ class AodvProtocol:
     # RREQ handling (intermediate / destination side)
     # ------------------------------------------------------------------
     def _on_rreq(self, packet: RouteRequest, sender: str) -> None:
-        if packet.key in self._seen_rreqs:
+        # Inlined packet.key: flood duplicates are the hottest receive
+        # path in the whole simulation, so skip the property descriptor.
+        key = (packet.originator, packet.rreq_id)
+        if key in self._seen_rreqs:
             return
-        self._seen_rreqs.add(packet.key)
+        self._seen_rreqs.add(key)
         now = self.sim.now
         # Reverse route towards the originator.
         if packet.originator != self.address:
@@ -663,8 +665,11 @@ class AodvProtocol:
         self._check_neighbor_timeouts()
 
     def _on_hello(self, packet: HelloBeacon, sender: str) -> None:
-        self._neighbors_last_heard[sender] = self.sim.now
-        metrics = self.sim.obs.metrics
+        sim = self.sim
+        now = sim.now
+        config = self.config
+        self._neighbors_last_heard[sender] = now
+        metrics = sim.obs.metrics
         if metrics is not None:
             metrics.counter("aodv.hello_received", node=self.node.node_id).inc()
         installed = self.table.consider(
@@ -672,8 +677,8 @@ class AodvProtocol:
             next_hop=sender,
             hop_count=1,
             destination_seq=packet.originator_seq,
-            expires_at=self.sim.now
-            + self.config.hello_interval * (self.config.allowed_hello_loss + 1),
+            expires_at=now
+            + config.hello_interval * (config.allowed_hello_loss + 1),
         )
         if installed and metrics is not None:
             self._count_route_update()

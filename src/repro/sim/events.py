@@ -26,6 +26,24 @@ Cancellation stays lazy (a flag checked when an entry surfaces), but the
 queue now tracks its :attr:`~EventQueue.cancelled_fraction` and compacts
 itself once more than half of the stored entries are corpses, so
 restart-heavy timers no longer grow the heap without bound.
+
+Event pooling
+-------------
+Fire-and-forget events — packet deliveries, overhear fan-out, anything
+scheduled with ``pooled=True`` whose handle the caller drops — are
+recycled through a bounded freelist instead of being allocated fresh for
+every transmission.  Dispatch hands the fired event back via
+:meth:`EventQueue.recycle`, which clears its action/args references (so
+packets are not kept alive by dead events) and tombstones it; the next
+``pooled`` push reinitialises it in place under a bumped
+:attr:`Event.generation`.  Late cancellations cannot resurrect a
+recycled event: a tombstoned event ignores ``cancel()``, and callers
+that must hold a handle across a dispatch can pass the generation they
+captured at scheduling time to :meth:`Event.cancel` — a stale
+generation is a no-op.  Pooling changes no ordering: sequence numbers
+are drawn from the same counter whether an event comes from the
+freelist or the allocator (``tests/test_packetpath_equivalence.py``
+pins byte-identical traces with the pool on and off).
 """
 
 from __future__ import annotations
@@ -48,6 +66,16 @@ PRIORITY_LOW = 10
 #: rebuild cost.
 _COMPACT_MIN_STORED = 64
 
+#: Most recycled events the freelist holds on to (pool tuning knob; see
+#: docs/performance.md "Packet memory model").  Bursts beyond this fall
+#: back to the allocator, so the cap only bounds retained memory.
+POOL_MAX_FREE = 4096
+
+
+def _discarded() -> None:  # pragma: no cover - tombstone action
+    """Placeholder action carried by recycled events (module-level so
+    parked freelist events never pin a callback, and stay picklable)."""
+
 
 class Event:
     """A single scheduled callback.
@@ -69,6 +97,12 @@ class Event:
         Human-readable description used in error messages and traces.
     cancelled:
         Cancelled events stay filed but are skipped when they surface.
+    generation:
+        Incarnation counter for pooled events.  Bumped every time the
+        freelist reissues this object; a handle captured under an older
+        generation can no longer cancel it.
+    pooled:
+        True when dispatch should hand this event back to the freelist.
     """
 
     __slots__ = (
@@ -79,6 +113,8 @@ class Event:
         "args",
         "label",
         "cancelled",
+        "generation",
+        "pooled",
         "_queue",
     )
 
@@ -98,10 +134,22 @@ class Event:
         self.args = args
         self.label = label
         self.cancelled = False
+        self.generation = 0
+        self.pooled = False
         self._queue: EventQueue | None = None
 
-    def cancel(self) -> None:
-        """Mark this event so the queue skips it when it surfaces."""
+    def cancel(self, generation: int | None = None) -> None:
+        """Mark this event so the queue skips it when it surfaces.
+
+        Safe after the event fired: dispatch detaches the event from its
+        queue, so a late cancel no longer perturbs the live-event
+        accounting.  ``generation`` (optional) guards pooled handles:
+        pass the value captured at scheduling time and the cancel
+        becomes a no-op if the freelist has since reissued the object to
+        a different logical event.
+        """
+        if generation is not None and generation != self.generation:
+            return
         if not self.cancelled:
             self.cancelled = True
             if self._queue is not None:
@@ -128,7 +176,12 @@ class EventQueue:
     True
     """
 
-    def __init__(self, *, wheel: TimerWheel | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        wheel: TimerWheel | None = None,
+        pool_max_free: int = POOL_MAX_FREE,
+    ) -> None:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
@@ -140,6 +193,16 @@ class EventQueue:
         self.high_water = 0
         #: worst corpse fraction observed at a cancellation instant
         self.peak_cancelled_fraction = 0.0
+        #: recycled fire-and-forget events awaiting reuse
+        self._free: list[Event] = []
+        #: freelist retention cap (pool tuning knob)
+        self.pool_max_free = pool_max_free
+        #: events handed back to the freelist over the queue's lifetime
+        self.pool_recycled = 0
+        #: pushes served from the freelist instead of the allocator
+        self.pool_reused = 0
+        #: most events ever parked in the freelist at once
+        self.pool_high_water = 0
 
     def __len__(self) -> int:
         return self._live
@@ -156,6 +219,7 @@ class EventQueue:
         priority: int = PRIORITY_NORMAL,
         label: str = "",
         wheel: bool = False,
+        pooled: bool = False,
     ) -> Event:
         """Insert an event and return a handle that can be cancelled.
 
@@ -163,17 +227,98 @@ class EventQueue:
         restarted before firing): it is filed in the timer wheel when one
         is attached, falling back to the heap when the target slot has
         already been flushed.  Ordering is identical either way.
+
+        ``pooled=True`` marks fire-and-forget work whose handle the
+        caller will not retain: the event is drawn from the freelist
+        when one is parked there and handed back to it after dispatch.
+        A caller that *does* keep the handle must cancel through the
+        generation captured at scheduling time (``event.generation``).
         """
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time!r}")
-        event = Event(time, priority, next(self._counter), action, args, label)
+        if pooled and self._free:
+            event = self._free.pop()
+            self.pool_reused += 1
+            event.time = time
+            event.priority = priority
+            event.sequence = sequence = next(self._counter)
+            event.action = action
+            event.args = args
+            event.label = label
+            event.cancelled = False
+            event.generation += 1
+        else:
+            event = Event(time, priority, next(self._counter), action, args, label)
+            event.pooled = pooled
+            sequence = event.sequence
         event._queue = self
         if not (wheel and self.wheel is not None and self.wheel.insert(event)):
-            heappush(self._heap, (time, priority, event.sequence, event))
+            heappush(self._heap, (time, priority, sequence, event))
         self._live += 1
         if self._live > self.high_water:
             self.high_water = self._live
         return event
+
+    def push_delivery(
+        self,
+        time: float,
+        action: Callable[..., Any],
+        args: tuple,
+        label: str,
+        pooled: bool,
+    ) -> Event:
+        """Positional fast path of :meth:`push` for delivery fan-out.
+
+        Semantically ``push(time, action, args=args, label=label,
+        pooled=pooled)`` — same shared sequence counter, same heap entry,
+        same freelist — minus the keyword-argument plumbing and the
+        wheel/validity branches the radio fan-out never takes.  The
+        network schedules thousands of these per flood round; shaving
+        the call overhead here is worth the duplication.  ``time`` must
+        be non-negative (callers derive it as ``now + delay`` with
+        validated non-negative delays).
+        """
+        if pooled and self._free:
+            event = self._free.pop()
+            self.pool_reused += 1
+            event.time = time
+            event.priority = PRIORITY_NORMAL
+            event.sequence = sequence = next(self._counter)
+            event.action = action
+            event.args = args
+            event.label = label
+            event.cancelled = False
+            event.generation += 1
+        else:
+            event = Event(time, PRIORITY_NORMAL, next(self._counter), action, args, label)
+            event.pooled = pooled
+            sequence = event.sequence
+        event._queue = self
+        heappush(self._heap, (time, PRIORITY_NORMAL, sequence, event))
+        live = self._live = self._live + 1
+        if live > self.high_water:
+            self.high_water = live
+        return event
+
+    def recycle(self, event: Event) -> None:
+        """Hand a dispatched pooled event back to the freelist.
+
+        Clears the action/args references so a dead event never keeps a
+        packet (or a receiver batch) alive, and tombstones the object —
+        ``cancelled`` stays True until the freelist reissues it, so a
+        stale handle's ``cancel()`` is a no-op.  Called by the simulator
+        after the event's action returned; never call it for an event
+        that is still filed.
+        """
+        event.action = _discarded
+        event.args = ()
+        event.cancelled = True
+        free = self._free
+        if len(free) < self.pool_max_free:
+            free.append(event)
+            self.pool_recycled += 1
+            if len(free) > self.pool_high_water:
+                self.pool_high_water = len(free)
 
     # ------------------------------------------------------------------
     # Corpse accounting
@@ -244,6 +389,9 @@ class EventQueue:
             if event.cancelled:
                 continue
             self._live -= 1
+            # Detach: a cancel() arriving after the event fired must not
+            # decrement the live count a second time.
+            event._queue = None
             return event
 
     def pop_due(self, until: float | None = None) -> Event | None:
@@ -274,6 +422,7 @@ class EventQueue:
                 return None
             heappop(heap)
             self._live -= 1
+            event._queue = None
             return event
 
     def peek_time(self) -> float | None:
@@ -294,3 +443,29 @@ class EventQueue:
         if self.wheel is not None:
             self.wheel.clear()
         self._live = 0
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle the freelist as a *count*, not as objects.
+
+        Parked events are interchangeable blanks; recording how many are
+        parked (and rebuilding that many on restore) keeps the pool's
+        occupancy — and therefore ``pool_reused``/``pool_high_water`` —
+        byte-identical between a restored run and one that never paused.
+        """
+        state = self.__dict__.copy()
+        state["_free"] = len(self._free)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        parked = state.pop("_free", 0)
+        self.__dict__.update(state)
+        free: list[Event] = []
+        for _ in range(int(parked)):
+            blank = Event(0.0, 0, 0, _discarded)
+            blank.pooled = True
+            blank.cancelled = True
+            free.append(blank)
+        self._free = free

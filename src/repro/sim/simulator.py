@@ -24,8 +24,10 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from heapq import heappop
+
 from repro.obs import Observability
-from repro.sim.events import Event, EventQueue, PRIORITY_NORMAL
+from repro.sim.events import Event, EventQueue, PRIORITY_NORMAL, _discarded
 from repro.sim.logging import WARNING, SimLogger
 from repro.sim.rng import RandomStreams
 from repro.sim.wheel import TimerWheel
@@ -34,6 +36,12 @@ from repro.sim.wheel import TimerWheel
 #: this to compare the wheel-backed loop against the plain heap; normal
 #: code never touches it.
 USE_TIMER_WHEEL = True
+
+#: Module-wide default for event pooling (``schedule(..., pooled=True)``
+#: recycling fire-and-forget events through the queue's freelist).  The
+#: packet-path equivalence tests flip this to prove the pool changes no
+#: ordering; normal code never touches it.
+USE_EVENT_POOL = True
 
 
 class SimulationError(RuntimeError):
@@ -61,9 +69,13 @@ class Simulator:
         seed: int = 0,
         log_level: int | None = None,
         use_wheel: bool | None = None,
+        pool_events: bool | None = None,
     ) -> None:
         if use_wheel is None:
             use_wheel = USE_TIMER_WHEEL
+        if pool_events is None:
+            pool_events = USE_EVENT_POOL
+        self.pool_events = pool_events
         self.now: float = 0.0
         self.queue = EventQueue(wheel=TimerWheel() if use_wheel else None)
         self.streams = RandomStreams(seed)
@@ -87,12 +99,19 @@ class Simulator:
         priority: int = PRIORITY_NORMAL,
         label: str = "",
         wheel: bool = False,
+        pooled: bool = False,
     ) -> Event:
         """Schedule ``action(*args)`` to run ``delay`` seconds from now.
 
         ``wheel=True`` files the event in the timer wheel (see
         :meth:`EventQueue.push <repro.sim.events.EventQueue.push>`); use
         it for timeouts that are usually cancelled or restarted.
+
+        ``pooled=True`` marks the event fire-and-forget: the loop
+        recycles it into the queue's freelist right after dispatch, so
+        callers must drop the returned handle (a later ``cancel()``
+        could hit a recycled event — hold ``(event, event.generation)``
+        and pass the generation to ``cancel`` if you must keep one).
         """
         if delay < 0:
             raise SimulationError(
@@ -105,6 +124,7 @@ class Simulator:
             priority=priority,
             label=label,
             wheel=wheel,
+            pooled=pooled and self.pool_events,
         )
 
     def schedule_at(
@@ -116,6 +136,7 @@ class Simulator:
         priority: int = PRIORITY_NORMAL,
         label: str = "",
         wheel: bool = False,
+        pooled: bool = False,
     ) -> Event:
         """Schedule ``action(*args)`` at absolute virtual ``time``."""
         if time < self.now:
@@ -123,7 +144,13 @@ class Simulator:
                 f"cannot schedule at t={time!r}, already at t={self.now!r}"
             )
         return self.queue.push(
-            time, action, args=args, priority=priority, label=label, wheel=wheel
+            time,
+            action,
+            args=args,
+            priority=priority,
+            label=label,
+            wheel=wheel,
+            pooled=pooled and self.pool_events,
         )
 
     # ------------------------------------------------------------------
@@ -148,7 +175,19 @@ class Simulator:
         self._stopped = False
         executed = 0
         queue = self.queue
-        pop_due = queue.pop_due
+        # The pop/recycle pair is inlined from EventQueue.pop_due /
+        # EventQueue.recycle below (both kept verbatim on the queue for
+        # step() and external callers): at packet-path rates the two
+        # call frames per event are a measurable share of the loop.
+        # Pool counters are batched into locals and flushed in the
+        # finally block; nothing reads them mid-run.
+        heap = queue._heap
+        wheel = queue.wheel
+        free = queue._free
+        pool_max_free = queue.pool_max_free
+        recycled = 0
+        pool_peak = queue.pool_high_water
+        deadline = float("inf") if until is None else until
         profiler = self.obs.profiler
         if profiler is not None:
             profiler.begin_run(self.now)
@@ -156,10 +195,38 @@ class Simulator:
             if profiler is not None:
                 clock = profiler.clock
                 record = profiler.record
+                by_label = profiler._by_label
                 high_water = profiler.queue_high_water
+                # Per-label accounting is inlined for known labels (dict
+                # hit) and batched into locals; record() handles new
+                # labels and the label cap, and the finally block flushes
+                # the batched totals even on an exception mid-run.
+                inlined_events = 0
+                inlined_busy = 0.0
                 try:
                     while not self._stopped:
-                        event = pop_due(until)
+                        # -- inline EventQueue.pop_due(until) --
+                        while True:
+                            if wheel is not None and wheel.stored:
+                                if not heap:
+                                    wheel.flush_next(heap)
+                                elif wheel.frontier <= heap[0][0]:
+                                    wheel.flush_until(heap[0][0], heap)
+                            if not heap:
+                                event = None
+                                break
+                            entry = heap[0]
+                            event = entry[3]
+                            if event.cancelled:
+                                heappop(heap)
+                                continue
+                            if entry[0] > deadline:
+                                event = None
+                                break
+                            heappop(heap)
+                            queue._live -= 1
+                            event._queue = None
+                            break
                         if event is None:
                             break
                         self.now = event.time
@@ -168,7 +235,26 @@ class Simulator:
                             high_water = depth
                         started = clock()
                         event.action(*event.args)
-                        record(event.label, clock() - started)
+                        seconds = clock() - started
+                        entry = by_label.get(event.label)
+                        if entry is not None:
+                            entry[0] += 1
+                            entry[1] += seconds
+                            inlined_events += 1
+                            inlined_busy += seconds
+                        else:
+                            record(event.label, seconds)
+                        if event.pooled:
+                            # -- inline EventQueue.recycle(event) --
+                            event.action = _discarded
+                            event.args = ()
+                            event.cancelled = True
+                            flen = len(free)
+                            if flen < pool_max_free:
+                                free.append(event)
+                                recycled += 1
+                                if flen >= pool_peak:
+                                    pool_peak = flen + 1
                         executed += 1
                         if max_events is not None and executed >= max_events:
                             raise SimulationError(
@@ -177,13 +263,47 @@ class Simulator:
                             )
                 finally:
                     profiler.queue_high_water = high_water
+                    profiler.events += inlined_events
+                    profiler.busy_seconds += inlined_busy
             else:
                 while not self._stopped:
-                    event = pop_due(until)
+                    # -- inline EventQueue.pop_due(until) --
+                    while True:
+                        if wheel is not None and wheel.stored:
+                            if not heap:
+                                wheel.flush_next(heap)
+                            elif wheel.frontier <= heap[0][0]:
+                                wheel.flush_until(heap[0][0], heap)
+                        if not heap:
+                            event = None
+                            break
+                        entry = heap[0]
+                        event = entry[3]
+                        if event.cancelled:
+                            heappop(heap)
+                            continue
+                        if entry[0] > deadline:
+                            event = None
+                            break
+                        heappop(heap)
+                        queue._live -= 1
+                        event._queue = None
+                        break
                     if event is None:
                         break
                     self.now = event.time
                     event.action(*event.args)
+                    if event.pooled:
+                        # -- inline EventQueue.recycle(event) --
+                        event.action = _discarded
+                        event.args = ()
+                        event.cancelled = True
+                        flen = len(free)
+                        if flen < pool_max_free:
+                            free.append(event)
+                            recycled += 1
+                            if flen >= pool_peak:
+                                pool_peak = flen + 1
                     executed += 1
                     if max_events is not None and executed >= max_events:
                         raise SimulationError(
@@ -195,6 +315,9 @@ class Simulator:
         finally:
             self._running = False
             self.events_executed += executed
+            queue.pool_recycled += recycled
+            if pool_peak > queue.pool_high_water:
+                queue.pool_high_water = pool_peak
             if profiler is not None:
                 profiler.end_run(self.now)
             self._publish_queue_metrics()
@@ -227,6 +350,8 @@ class Simulator:
                 profiler.record(event.label, profiler.clock() - started)
             else:
                 event.action(*event.args)
+            if event.pooled:
+                self.queue.recycle(event)
             self.events_executed += 1
         finally:
             self._running = False
@@ -263,6 +388,14 @@ class Simulator:
             )
             metrics.gauge("sim.wheel.flushed").set(wheel.flushed)
             metrics.gauge("sim.wheel.pruned").set(wheel.pruned)
+        metrics.gauge("sim.pool.recycled").set(queue.pool_recycled)
+        metrics.gauge("sim.pool.reused").set(queue.pool_reused)
+        metrics.gauge("sim.pool.high_water").set(queue.pool_high_water)
+        from repro.net import frozen  # deferred: sim must not hard-import net
+
+        intern_stats = frozen.stats()
+        metrics.gauge("net.packet.interned").set(intern_stats["interned"])
+        metrics.gauge("net.packet.cow_copies").set(intern_stats["cow_copies"])
 
     # ------------------------------------------------------------------
     # Convenience

@@ -31,23 +31,33 @@ from repro.snapshot.codec import SnapshotInfo
 def capture_globals() -> dict[str, Any]:
     """Pickle-ready capture of process-global allocator positions."""
     import repro.core.examiner as examiner
+    import repro.net.frozen as frozen
     import repro.net.packets as packets
 
     return {
         "net.packet_ids": packets._packet_ids,
         "core.synthetic_serials": examiner._synthetic_serials,
+        "net.frozen_counters": frozen.capture_counters(),
     }
 
 
 def apply_globals(captured: dict[str, Any]) -> None:
-    """Rewind process-global allocators to a captured position."""
+    """Rewind process-global allocators to a captured position.
+
+    The frozen-packet counters are rewound *after* unpickling (restore
+    calls this last), so the re-interning that unpickling itself performs
+    does not inflate the restored gauges past the captured position.
+    """
     import repro.core.examiner as examiner
+    import repro.net.frozen as frozen
     import repro.net.packets as packets
 
     if "net.packet_ids" in captured:
         packets._packet_ids = captured["net.packet_ids"]
     if "core.synthetic_serials" in captured:
         examiner._synthetic_serials = captured["core.synthetic_serials"]
+    if "net.frozen_counters" in captured:
+        frozen.apply_counters(captured["net.frozen_counters"])
 
 
 def _sim_of(root: object):

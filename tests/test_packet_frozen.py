@@ -1,0 +1,243 @@
+"""FrozenPacket flyweight: lazy decode, interning, pickle/snapshot identity.
+
+Covers the tentpole's correctness claims: every lazily-decoded field
+equals the eager decode, every truncated wire prefix still raises
+``CodecError``, interned instances are process-wide singletons that
+survive pickling with identity re-established, frozen views are
+immutable, and thaw() is the (counted) copy-on-write escape hatch.
+"""
+
+import dataclasses
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clusters.packets import JoinReply, JoinRequest, LeaveNotice
+from repro.core.packets import (
+    DetectionForward,
+    DetectionRequest,
+    DetectionResult,
+    HelloReply,
+    MemberWarning,
+    RevocationNoticePacket,
+    SecureHello,
+)
+from repro.crypto import RevocationEntry, TrustedAuthorityNetwork
+from repro.net import codec, frozen
+from repro.net.codec import CodecError
+from repro.net.frozen import FrozenPacket, freeze, from_wire
+from repro.routing.packets import (
+    DataPacket,
+    HelloBeacon,
+    RouteError,
+    RouteReply,
+    RouteRequest,
+)
+from repro.snapshot.state import apply_globals, capture_globals
+
+
+@pytest.fixture(autouse=True)
+def _isolated_intern_table():
+    frozen.reset()
+    yield
+    frozen.reset()
+
+
+def _certificate():
+    net = TrustedAuthorityNetwork(random.Random(0))
+    ta = net.add_authority("ta1")
+    return ta.enroll("veh", now=0.0).certificate
+
+
+def _sample_packets():
+    cert = _certificate()
+    return [
+        RouteRequest(src="a", dst="*", originator="a", originator_seq=3,
+                     destination="d", destination_seq=-1, hop_count=2,
+                     rreq_id=7, request_next_hop=True, claim_check="b1"),
+        RouteReply(src="b", dst="a", originator="a", destination="d",
+                   destination_seq=120, hop_count=1, lifetime=30.0,
+                   replied_by="b", next_hop_claim="b2", cluster_of_replier=4,
+                   certificate=cert, signature=b"\x01" * 32),
+        RouteError(src="a", dst="*", unreachable=[("d1", 4), ("d2", 9)]),
+        HelloBeacon(src="a", dst="*", originator="a", originator_seq=12),
+        DataPacket(src="a", dst="b", originator="a", final_destination="z",
+                   payload="hello world", hops_travelled=3),
+        JoinRequest(src="v", dst="*", speed=25.0, position=(1234.5, 75.0),
+                    direction=-1),
+        JoinReply(src="rsu-3", dst="v", cluster_head="rsu-3", cluster_index=3),
+        LeaveNotice(src="v", dst="rsu-3"),
+        SecureHello(src="a", dst="b", originator="a", target="d", nonce=17,
+                    certificate=cert, signature=b"s" * 32),
+        HelloReply(src="d", dst="b", originator="a", responder="d", nonce=17,
+                   certificate=cert, signature=b"s" * 32),
+        DetectionRequest(src="v", dst="rsu-1", reporter="v", reporter_cluster=1,
+                         suspect="b", suspect_cluster=3,
+                         suspect_certificate=cert),
+        DetectionForward(src="rsu-1", dst="rsu-3", reporter="v",
+                         reporter_cluster=1, suspect="b", suspect_cluster=3,
+                         suspect_certificate=cert, phase="probe2",
+                         rrep1_seq=250, packets_so_far=4,
+                         packet_breakdown=["d_req", "RREQ_1"],
+                         forwards_used=1, direction=1),
+        DetectionResult(src="rsu-3", dst="v", reporter="v", suspect="b",
+                        verdict="black-hole", cooperative_with=["b2"],
+                        relay=True),
+        RevocationNoticePacket(
+            src="rsu-3", dst="rsu-4",
+            entries=[RevocationEntry("b1", serial=-3, expires_at=99.5)],
+            hops_remaining=2),
+        MemberWarning(src="rsu-3", dst="*", revoked_ids=["b1", "b2"]),
+    ]
+
+
+VOLATILE = ("uid", "size_bytes", "_wire_size")
+
+
+def _field_dict(packet):
+    fields = dataclasses.asdict(packet)
+    for name in VOLATILE:
+        fields.pop(name, None)
+    return fields
+
+
+# ----------------------------------------------------------------------
+# Lazy decode equals eager decode, for every registered type
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("packet", _sample_packets(), ids=lambda p: p.kind)
+def test_flyweight_fields_equal_eager_decode(packet):
+    wire = codec.encode(packet)
+    eager = codec.decode(wire)
+    view = from_wire(wire)
+    # header-only accessors decode nothing
+    assert view.src == eager.src
+    assert view.dst == eager.dst
+    assert view.kind == eager.kind
+    assert view._decoded is None
+    assert view.wire_size == len(wire) == codec.wire_size(view)
+    # every remaining dataclass field delegates to one cached decode
+    for name, expected in _field_dict(eager).items():
+        assert dataclasses.asdict(view._packet)[name] == expected
+    assert view.packet_type is type(eager)
+
+
+def test_header_peek_matches_full_decode_without_body_decode():
+    packet = _sample_packets()[0]
+    view = from_wire(codec.encode(packet))
+    assert (view.src, view.dst) == (packet.src, packet.dst)
+    assert view._decoded is None  # still no body decode after peeks
+
+
+# ----------------------------------------------------------------------
+# Truncation fuzz: every proper prefix is rejected
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("packet", _sample_packets(), ids=lambda p: p.kind)
+def test_every_truncated_prefix_raises_codec_error(packet):
+    wire = codec.encode(packet)
+    for cut in range(len(wire)):
+        prefix = wire[:cut]
+        with pytest.raises(CodecError):
+            view = from_wire(prefix)  # header rejections surface here...
+            view.describe()
+            view._packet  # ...body rejections on first field access
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(min_size=0, max_size=160))
+def test_arbitrary_bytes_never_escape_codec_error(data):
+    try:
+        view = from_wire(data)
+        view._packet
+    except CodecError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Interning
+# ----------------------------------------------------------------------
+def test_identical_wire_shares_one_instance():
+    packet = _sample_packets()[0]
+    wire = codec.encode(packet)
+    assert from_wire(wire) is from_wire(bytes(wire)) is from_wire(bytearray(wire))
+    stats = frozen.stats()
+    assert stats["frozen"] == 1 and stats["interned"] == 2
+
+
+def test_freeze_is_idempotent_and_interns_by_content():
+    first = _sample_packets()[3]
+    second = HelloBeacon(src="a", dst="*", originator="a", originator_seq=12)
+    assert first.uid != second.uid  # distinct mutable instances...
+    f1, f2 = freeze(first), freeze(second)
+    assert f1 is f2  # ...but identical wire content: one flyweight
+    assert freeze(f1) is f1
+
+
+def test_intern_table_is_weak():
+    wire = codec.encode(_sample_packets()[3])
+    from_wire(wire)  # not retained by anyone
+    import gc
+
+    gc.collect()
+    assert frozen.stats()["live"] == 0
+
+
+def test_signed_payload_is_an_identity_memo():
+    view = freeze(_sample_packets()[1])  # secure RouteReply
+    assert view.signed_payload() is view.signed_payload()
+    assert view.signed_payload() == view.thaw().signed_payload()
+
+
+# ----------------------------------------------------------------------
+# Immutability and copy-on-write
+# ----------------------------------------------------------------------
+def test_frozen_packet_is_immutable():
+    view = freeze(_sample_packets()[0])
+    with pytest.raises(AttributeError, match="immutable"):
+        view.hop_count = 99
+    with pytest.raises(AttributeError, match="immutable"):
+        view.wire = b""
+    with pytest.raises(AttributeError):
+        del view.wire
+
+
+def test_thaw_returns_independent_mutable_copy_and_counts_cow():
+    view = freeze(_sample_packets()[0])
+    assert frozen.stats()["cow_copies"] == 0
+    thawed = view.thaw()
+    thawed.hop_count += 1
+    assert view.hop_count == 2 and thawed.hop_count == 3
+    assert thawed.uid != view.uid
+    assert frozen.stats()["cow_copies"] == 1
+
+
+# ----------------------------------------------------------------------
+# Pickle / snapshot identity
+# ----------------------------------------------------------------------
+def test_unpickle_reinterns_to_the_live_instance():
+    view = freeze(_sample_packets()[0])
+    assert pickle.loads(pickle.dumps(view)) is view
+
+
+def test_shared_identity_survives_a_fresh_process_restore():
+    """Two references to one flyweight stay one flyweight after restore,
+    even when the table is empty (a notional fresh process)."""
+    view = freeze(_sample_packets()[0])
+    blob = pickle.dumps({"a": view, "b": view, "solo": freeze(_sample_packets()[4])})
+    frozen.reset()  # simulate a process that never saw these packets
+    restored = pickle.loads(blob)
+    assert restored["a"] is restored["b"]
+    assert restored["a"] is not restored["solo"]
+    assert restored["a"].hop_count == 2
+
+
+def test_counters_are_captured_and_rewound_with_globals():
+    freeze(_sample_packets()[0]).thaw()
+    captured = capture_globals()
+    assert captured["net.frozen_counters"] == frozen.capture_counters()
+    freeze(_sample_packets()[4])
+    from_wire(codec.encode(_sample_packets()[4]))
+    apply_globals(captured)
+    assert frozen.capture_counters() == captured["net.frozen_counters"]

@@ -1,0 +1,188 @@
+"""Golden-trace equivalence for the zero-allocation packet path.
+
+Event pooling recycles delivery events through a freelist; that must be
+invisible to every seeded experiment.  These tests run the Table I
+attack scenarios with the pool on (default) and off
+(``USE_EVENT_POOL=False``, which reproduces allocate-per-delivery
+exactly) and require byte-identical trace JSONL and identical
+summaries; a snapshot/restore mid-trial with pooling live must likewise
+match the never-paused run, pool counters included.
+
+The pool unit tests pin the safety story: generation counters make late
+cancellations of recycled events no-ops, tombstoned freelist events
+ignore ``cancel()``, and cancelling an event *after* it fired no longer
+perturbs the live-event accounting.
+"""
+
+import itertools
+import pickle
+
+import pytest
+
+import repro.net.packets as packets_module
+import repro.sim.simulator as simulator_module
+from repro.experiments.config import (
+    ATTACK_COOPERATIVE,
+    ATTACK_NONE,
+    ATTACK_SINGLE,
+    TrialConfig,
+)
+from repro.experiments.executor import summarize_trial
+from repro.experiments.trial import TrialSession, begin_trial, run_trial
+from repro.sim import Simulator
+from repro.sim.events import EventQueue
+
+
+def _reset_packet_uids():
+    packets_module._packet_ids = itertools.count(1)
+
+
+def _run_table1_trial(monkeypatch, *, attack, cluster, pooled):
+    _reset_packet_uids()
+    monkeypatch.setattr(simulator_module, "USE_EVENT_POOL", pooled)
+    config = TrialConfig(
+        seed=7, attack=attack, attacker_cluster=cluster, trace=True
+    )
+    result = run_trial(config)
+    trace = "\n".join(event.to_json() for event in result.trace_events)
+    return trace, summarize_trial(config, result).to_dict()
+
+
+@pytest.mark.parametrize(
+    "attack,cluster",
+    [(ATTACK_SINGLE, 4), (ATTACK_COOPERATIVE, 8), (ATTACK_NONE, 4)],
+)
+def test_pooling_is_trace_identical_on_table1_scenarios(
+    monkeypatch, attack, cluster
+):
+    pooled = _run_table1_trial(
+        monkeypatch, attack=attack, cluster=cluster, pooled=True
+    )
+    unpooled = _run_table1_trial(
+        monkeypatch, attack=attack, cluster=cluster, pooled=False
+    )
+    assert pooled == unpooled
+
+
+def _result_bytes(result) -> bytes:
+    payload = {
+        name: value
+        for name, value in vars(result).items()
+        if name != "profile"
+    }
+    return pickle.dumps(payload, protocol=4)
+
+
+def test_snapshot_restore_mid_trial_with_pooling_live(monkeypatch):
+    """Pause/snapshot/restore/finish with the pool engaged equals the
+    never-paused run — freelist occupancy and pool counters included
+    (the queue pickles its freelist as a count and rebuilds blanks)."""
+    monkeypatch.setattr(simulator_module, "USE_EVENT_POOL", True)
+    config = TrialConfig(
+        seed=42, attack=ATTACK_SINGLE, attacker_cluster=5, metrics=True
+    )
+    straight = run_trial(config)
+
+    session = begin_trial(config)
+    session.run_to(4.0)
+    blob = session.snapshot()
+    resumed = TrialSession.restore(blob).finish()
+
+    assert _result_bytes(resumed) == _result_bytes(straight)
+    assert resumed.metrics == straight.metrics
+    # the guarantee is meaningful only if pooling actually engaged
+    assert straight.metrics["sim.pool.reused"]["value"] > 0
+
+
+# ----------------------------------------------------------------------
+# Pool mechanics
+# ----------------------------------------------------------------------
+def test_pooled_deliveries_actually_recycle():
+    sim = Simulator(seed=1)
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+        if fired[0] < 50:
+            sim.schedule(0.001, tick, pooled=True)
+
+    sim.schedule(0.001, tick, pooled=True)
+    sim.run()
+    assert fired[0] == 50
+    assert sim.queue.pool_recycled > 0
+    assert sim.queue.pool_reused > 0  # later pushes reused earlier corpses
+    assert sim.queue.pool_high_water >= 1
+
+
+def test_recycled_event_is_reissued_under_new_generation():
+    queue = EventQueue()
+    event = queue.push(1.0, (lambda: None), pooled=True)
+    first_generation = event.generation
+    assert queue.pop() is event
+    queue.recycle(event)
+    assert event.cancelled  # tombstoned while parked
+    reissued = queue.push(2.0, (lambda: None), pooled=True)
+    assert reissued is event  # same object, recycled
+    assert reissued.generation == first_generation + 1
+    assert not reissued.cancelled
+
+
+def test_stale_generation_cannot_cancel_recycled_event():
+    queue = EventQueue()
+    event = queue.push(1.0, (lambda: None), pooled=True)
+    stale = event.generation
+    queue.pop()
+    queue.recycle(event)
+    queue.push(2.0, (lambda: None), pooled=True)  # reissues the object
+    event.cancel(stale)  # late cancel through a stale handle: no-op
+    assert not event.cancelled
+    assert queue.pop() is event  # the new incarnation still fires
+    event.cancel(event.generation)  # matching generation still works
+    assert event.cancelled
+
+
+def test_tombstoned_freelist_event_ignores_cancel():
+    queue = EventQueue()
+    event = queue.push(1.0, (lambda: None), pooled=True)
+    queue.pop()
+    queue.recycle(event)
+    live_before = len(queue)
+    event.cancel()  # already tombstoned: must not touch accounting
+    assert len(queue) == live_before == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_live_count():
+    queue = EventQueue()
+    fired = queue.push(1.0, (lambda: None))
+    queue.push(2.0, (lambda: None))
+    assert queue.pop() is fired
+    fired.cancel()  # late cancel of an already-fired event
+    assert len(queue) == 1  # the pending event is still accounted live
+    assert queue.pop() is not None
+
+
+def test_freelist_retention_is_bounded():
+    queue = EventQueue(pool_max_free=4)
+    events = [queue.push(float(i), (lambda: None), pooled=True) for i in range(10)]
+    for event in events:
+        assert queue.pop() is not None
+    for event in events:
+        queue.recycle(event)
+    assert len(queue._free) == 4
+    assert queue.pool_high_water == 4
+
+
+def test_queue_pickles_freelist_as_interchangeable_blanks():
+    queue = EventQueue()
+    events = [queue.push(float(i), (lambda: None), pooled=True) for i in range(3)]
+    for _ in events:
+        queue.pop()
+    for event in events:
+        queue.recycle(event)
+    clone = pickle.loads(pickle.dumps(queue))
+    assert len(clone._free) == len(queue._free) == 3
+    assert clone.pool_recycled == queue.pool_recycled
+    # parked blanks are immediately reusable and tombstoned
+    reissued = clone.push(1.0, (lambda: None), pooled=True)
+    assert clone.pool_reused == queue.pool_reused + 1
+    assert reissued.pooled and not reissued.cancelled
