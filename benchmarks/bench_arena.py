@@ -1,0 +1,212 @@
+"""Arena matrix benchmark: sweep throughput, resume cost, and pins.
+
+Three sections:
+
+- **throughput** — wall-clock for a cold ``attacks x detectors`` matrix
+  of 20-vehicle trials through the campaign ledger, and the cached
+  re-render cost of the same (complete) ledger.  The resume path must
+  be orders of magnitude cheaper than the cold run — that is the whole
+  point of journaling the sweep.
+- **determinism** — the same spec run in two fresh ledgers must render
+  byte-identical CSV.
+- **pins** — the arena's headline qualitative claims, asserted on the
+  matrix itself: the wormhole pair defeats the examiner but not the
+  DRI cross-check; the adaptive attacker defeats the sequence baseline
+  but not the examiner; the precise detectors (``examiner``, ``dri``)
+  never convict an honest vehicle.  Baseline columns are *allowed* to —
+  their honest false positives under attacks they were never designed
+  for (the trust watchdog blames honest neighbours whose hand-offs
+  vanish into a wormhole tunnel; the naive prober trusts route caches)
+  are findings the matrix exists to record.
+
+Run the full benchmark (rewrites ``BENCH_arena.json`` at the repo
+root)::
+
+    PYTHONPATH=src python benchmarks/bench_arena.py
+
+CI smoke mode (2x2 grid, asserts pins + determinism + wall budget,
+writes nothing)::
+
+    PYTHONPATH=src python benchmarks/bench_arena.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from datetime import date
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.arena import arena_csv, run_matrix  # noqa: E402
+
+#: Benchmark world size: the repo-wide fast-trial convention.
+VEHICLES = 20
+
+#: Pinned grid: every attacker family against the detectors whose
+#: verdicts the arena's claims hang on.  ``naive`` is excluded — its
+#: honest false positives are a *documented* weakness, not a pin.
+FULL_ATTACKS = (
+    "single", "cooperative", "grayhole", "wormhole", "sybil", "adaptive",
+    "flood",
+)
+FULL_DETECTORS = (
+    "examiner", "dri", "sequence", "peak", "static", "trust", "sketch",
+)
+
+SMOKE_ATTACKS = ("wormhole", "adaptive")
+SMOKE_DETECTORS = ("dri", "examiner")
+
+#: (attack, detector) -> expected detection (None = unpinned cell).
+PINS = {
+    ("wormhole", "examiner"): False,
+    ("wormhole", "dri"): True,
+    ("adaptive", "examiner"): True,
+    ("adaptive", "sequence"): False,
+    ("single", "sequence"): True,
+    ("sybil", "sequence"): False,
+    ("flood", "sketch"): True,
+    ("flood", "examiner"): False,
+}
+
+
+def bench_matrix(attacks, detectors, trials: int) -> tuple[dict, list]:
+    """Cold run, cached re-render, and a fresh-ledger determinism twin."""
+    out: dict = {}
+    kwargs = dict(
+        attacks=attacks, detectors=detectors, trials=trials,
+        base_seed=1, num_vehicles=VEHICLES,
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-arena-") as tmp:
+        started = time.perf_counter()
+        _, cells = run_matrix(Path(tmp) / "a", **kwargs)
+        cold = time.perf_counter() - started
+
+        started = time.perf_counter()
+        _, resumed = run_matrix(Path(tmp) / "a", **kwargs)
+        resume = time.perf_counter() - started
+
+        _, twin = run_matrix(Path(tmp) / "b", **kwargs)
+
+    units = len(attacks) * len(detectors) * trials
+    out["units"] = units
+    out["cold_seconds"] = round(cold, 3)
+    out["units_per_second"] = round(units / cold, 2)
+    out["resume_seconds"] = round(resume, 3)
+    out["resume_speedup"] = round(cold / resume, 1) if resume > 0 else None
+    out["deterministic"] = arena_csv(cells) == arena_csv(twin)
+    out["resume_identical"] = resumed == cells
+    return out, cells
+
+
+def check_pins(cells) -> list[str]:
+    failures = []
+    by_key = {(cell.attack, cell.detector): cell for cell in cells}
+    for (attack, detector), expected in PINS.items():
+        cell = by_key.get((attack, detector))
+        if cell is None:
+            continue  # not in this grid (smoke runs a 2x2 subset)
+        detected = cell.detection_rate > 0.0
+        if detected != expected:
+            failures.append(
+                f"pin broken: {attack} x {detector} detected={detected}, "
+                f"expected {expected}"
+            )
+    # Only the precise detectors carry a zero-FP guarantee; baseline
+    # false positives are data, not failures.
+    precise = ("examiner", "dri", "sketch")
+    dirty = [
+        c for c in cells
+        if c.detector in precise and c.false_positive_rate > 0.0
+    ]
+    for cell in dirty:
+        failures.append(
+            f"honest conviction in {cell.attack} x {cell.detector} "
+            f"(fp rate {cell.false_positive_rate:.2f})"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trials", type=int, default=2,
+        help="seeded trials per matrix cell (full mode)",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_arena.json",
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="2x2x1 grid, asserts pins + determinism, writes nothing",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=120.0,
+        help="smoke-mode wall-clock budget in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    if args.smoke:
+        attacks, detectors, trials = SMOKE_ATTACKS, SMOKE_DETECTORS, 1
+    else:
+        attacks, detectors, trials = FULL_ATTACKS, FULL_DETECTORS, args.trials
+
+    matrix, cells = bench_matrix(attacks, detectors, trials)
+    print(
+        f"matrix   {len(attacks)}x{len(detectors)}x{trials} = "
+        f"{matrix['units']} units  cold {matrix['cold_seconds']}s "
+        f"({matrix['units_per_second']} units/s)"
+    )
+    print(
+        f"resume   {matrix['resume_seconds']}s "
+        f"({matrix['resume_speedup']}x faster than cold)"
+    )
+    print(f"deterministic: {matrix['deterministic']}")
+
+    failures = check_pins(cells)
+    if not matrix["deterministic"]:
+        failures.append("twin ledgers rendered different CSV")
+    if not matrix["resume_identical"]:
+        failures.append("resumed ledger disagreed with the cold run")
+    # Journal replay must beat re-simulation decisively.
+    if matrix["resume_speedup"] is not None and matrix["resume_speedup"] < 5:
+        failures.append(
+            f"resume barely faster than cold: {matrix['resume_speedup']}x"
+        )
+    for failure in failures:
+        print(f"FAIL {failure}")
+
+    if args.smoke:
+        elapsed = time.perf_counter() - started
+        if elapsed > args.budget:
+            print(f"FAIL smoke exceeded budget: {elapsed:.1f}s > {args.budget}s")
+            return 1
+        if failures:
+            return 1
+        print(f"smoke OK in {elapsed:.1f}s (budget {args.budget:.0f}s)")
+        return 0
+
+    payload = {
+        "benchmark": "arena matrix throughput, resume cost, and pins",
+        "recorded": date.today().isoformat(),
+        "python": platform.python_version(),
+        "vehicles": VEHICLES,
+        "matrix": matrix,
+        "cells": [cell.to_dict() for cell in cells],
+        "pin_failures": failures,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

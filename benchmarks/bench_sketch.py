@@ -108,10 +108,13 @@ def bench_monitor(packets: int, reps: int) -> dict:
 
 
 def bench_probe_table(lookups: int, reps: int) -> dict:
-    """us per ``_case_by_alias`` scan as the open-case count grows.
+    """us per ``_case_by_alias`` lookup as the open-case count grows.
 
-    The probe protocol's state is one open case per suspect; every
-    probe reply resolves its alias through a linear scan of that table.
+    The probe protocol's state is one open case per suspect.  Two arms
+    per scale: the historical *linear* scan (kept here as the contrast
+    baseline) and the *indexed* dict lookup the examiner now ships
+    (``_alias_index``), which the arena leans on — a full matrix run
+    opens hundreds of cases at once, so the indexed path must stay flat.
     """
     out: dict[str, dict] = {}
     for scale in SCALES:
@@ -126,6 +129,7 @@ def bench_probe_table(lookups: int, reps: int) -> dict:
             )
             for i in range(scale)
         }
+        index = {case.alias: case for case in table.values()}
 
         def case_by_alias(alias):
             for case in table.values():
@@ -141,9 +145,22 @@ def bench_probe_table(lookups: int, reps: int) -> dict:
                 case_by_alias(target)
             elapsed = time.perf_counter() - started
             best = min(best, elapsed)
-        out[str(scale)] = {"us_per_lookup": round(best / lookups * 1e6, 4)}
+        best_indexed = float("inf")
+        for _ in range(reps):
+            started = time.perf_counter()
+            lookup = index.get
+            for _ in range(lookups):
+                lookup(target)
+            elapsed = time.perf_counter() - started
+            best_indexed = min(best_indexed, elapsed)
+        out[str(scale)] = {
+            "us_per_lookup": round(best / lookups * 1e6, 4),
+            "us_per_lookup_indexed": round(best_indexed / lookups * 1e6, 4),
+        }
     costs = [out[str(scale)]["us_per_lookup"] for scale in SCALES]
     out["growth_ratio"] = round(costs[-1] / costs[0], 3)
+    indexed = [out[str(scale)]["us_per_lookup_indexed"] for scale in SCALES]
+    out["indexed_flatness_ratio"] = round(max(indexed) / min(indexed), 3)
     return out
 
 
@@ -220,6 +237,10 @@ def main(argv: list[str] | None = None) -> int:
             f"{probe[str(scale)]['us_per_lookup']:8.3f} us/lookup"
         )
     print(f"probe growth ratio (600 vs 100): {probe['growth_ratio']}")
+    print(
+        "probe indexed flatness ratio (max/min): "
+        f"{probe['indexed_flatness_ratio']}"
+    )
 
     quality = bench_quality()
     for variant in FLOOD_VARIANTS:
@@ -242,6 +263,14 @@ def main(argv: list[str] | None = None) -> int:
     if probe["growth_ratio"] < 2.0:
         failures.append(
             f"probe lookup did not grow: ratio {probe['growth_ratio']}"
+        )
+    # The shipped alias index must hold at arena scale: hundreds of
+    # concurrent cases, same per-lookup cost (3.0 tolerates timer
+    # jitter at sub-100ns lookup times).
+    if probe["indexed_flatness_ratio"] > 3.0:
+        failures.append(
+            "indexed alias lookup not flat at arena scale: "
+            f"ratio {probe['indexed_flatness_ratio']}"
         )
     if not quality["all_flooders_convicted"]:
         failures.append("a seeded flooder escaped conviction")

@@ -1,0 +1,61 @@
+"""Adversary-detector arena (extension).
+
+Pits every attacker family in :mod:`repro.attacks` against a pluggable
+roster of *live* detectors — the paper's probe examiner, the offline
+baselines of :mod:`repro.baselines` re-packaged as promiscuous-mode
+cluster-head taps, a DRI-style topology cross-check, and the sketch
+monitors — and scores each pairing on detection rate, honest false
+positives, time to isolation and overhead.
+
+Entry points:
+
+- :class:`ArenaConfig` on :class:`~repro.experiments.config.TrialConfig`
+  attaches detectors to a single trial;
+- :func:`run_matrix` / ``blackdp arena`` sweeps the full attacker ×
+  detector grid through the resumable campaign ledger.
+"""
+
+from repro.arena.base import (
+    ArenaConfig,
+    Detector,
+    VERDICT_ARENA,
+    available_detectors,
+    install_detectors,
+    per_rsu_installer,
+    register_detector,
+)
+from repro.arena import adapters as _adapters  # noqa: F401  (registers detectors)
+from repro.arena.matrix import (
+    DEFAULT_ATTACKS,
+    DEFAULT_DETECTORS,
+    ArenaCell,
+    aggregate_matrix,
+    arena_csv,
+    arena_spec,
+    cell_configs,
+    expand_arena_spec,
+    format_cells,
+    format_matrix,
+    run_matrix,
+)
+
+__all__ = [
+    "ArenaCell",
+    "ArenaConfig",
+    "DEFAULT_ATTACKS",
+    "DEFAULT_DETECTORS",
+    "Detector",
+    "VERDICT_ARENA",
+    "aggregate_matrix",
+    "arena_csv",
+    "arena_spec",
+    "available_detectors",
+    "cell_configs",
+    "expand_arena_spec",
+    "format_cells",
+    "format_matrix",
+    "install_detectors",
+    "per_rsu_installer",
+    "register_detector",
+    "run_matrix",
+]

@@ -1,25 +1,48 @@
-"""Black hole attackers.
+"""Attacker families.
 
-Implements the paper's attack model: compromised vehicles that answer any
-route request with a route reply carrying "a very high sequence number"
-to win route selection, then drop every data packet routed through them.
+Implements the paper's attack model plus the related-work adversaries
+the arena evaluates detectors against:
 
-- :class:`~repro.attacks.blackhole.BlackHoleVehicle` -- a single attacker.
+- :class:`~repro.attacks.blackhole.BlackHoleVehicle` -- a single attacker
+  answering any route request with "a very high sequence number" and
+  dropping every data packet routed through it.
 - :func:`~repro.attacks.cooperative.make_cooperative_pair` -- two
   attackers executing the cooperative variant (the second approves the
   first's route claims).
+- :class:`~repro.attacks.grayhole.GrayHoleVehicle` -- selective
+  forwarding with a tunable drop policy.
+- :class:`~repro.attacks.flood.FloodingVehicle` -- RREQ floods
+  (constant/bursty/rotating) against the control plane.
+- :class:`~repro.attacks.wormhole.WormholeVehicle` -- an out-of-band
+  tunnel pair shortcutting route discovery with *plausible* claims
+  (see :func:`~repro.attacks.wormhole.make_wormhole_pair`).
+- :class:`~repro.attacks.sybil.SybilVehicle` -- pseudonym abuse: the
+  black hole corroborates its own lies under fabricated aliases.
+- :class:`~repro.attacks.adaptive.AdaptiveVehicle` -- a probe-aware
+  black hole that goes honest when a claimed destination is re-requested
+  by a new identity.
 - :class:`~repro.attacks.policy.AttackerPolicy` -- evasive behaviours
   (act legitimately, flee, renew pseudonym) that produce the paper's
   accuracy drop in clusters 8-10.
 """
 
+from repro.attacks.adaptive import ADAPTIVE_POLICY, AdaptiveAodv, AdaptiveVehicle
 from repro.attacks.blackhole import BlackHoleAodv, BlackHoleVehicle
 from repro.attacks.cooperative import make_cooperative_pair
 from repro.attacks.flood import FLOOD_VARIANTS, FloodingVehicle, FloodPolicy
 from repro.attacks.grayhole import GrayHoleAodv, GrayHoleVehicle
 from repro.attacks.policy import AttackerPolicy
+from repro.attacks.sybil import SybilAodv, SybilVehicle
+from repro.attacks.wormhole import (
+    WormholeAodv,
+    WormholeVehicle,
+    make_wormhole_pair,
+)
 
 __all__ = [
+    "ADAPTIVE_POLICY",
+    "AdaptiveAodv",
+    "AdaptiveVehicle",
     "AttackerPolicy",
     "BlackHoleAodv",
     "BlackHoleVehicle",
@@ -28,5 +51,10 @@ __all__ = [
     "FloodingVehicle",
     "GrayHoleAodv",
     "GrayHoleVehicle",
+    "SybilAodv",
+    "SybilVehicle",
+    "WormholeAodv",
+    "WormholeVehicle",
     "make_cooperative_pair",
+    "make_wormhole_pair",
 ]

@@ -1,0 +1,126 @@
+"""Probe-aware adaptive black hole.
+
+The adaptive attacker assumes its adversary re-checks claims: after it
+lures one victim, a detector may return under a *disposable identity*
+and ask about the very same destination.  So the attacker keeps a ledger
+of which (destination, originator) pairs it has already claimed a route
+for and goes honest the moment a destination it has claimed is requested
+by anyone new — the signature of a re-probe.  Its fake replies are also
+deliberately modest: a small sequence margin and a multi-hop count, so
+no threshold or first-reply-outlier baseline sees an anomaly.
+
+What this defeats, and what it does not:
+
+- **Naive single-probe detectors** (probe the *real* destination from a
+  fresh identity, convict on any reply) get silence — the destination
+  was already claimed, the prober is a new originator.  Evaded.
+- **Sequence-number baselines** see replies barely above the genuine
+  destination's.  Evaded.
+- **BlackDP's two-probe examiner** still wins, by design of the paper's
+  protocol: both probes arrive from *one* disposable identity and name a
+  *fabricated* destination.  The first probe is a fresh (destination,
+  originator) pair — the attacker bites and the pair enters its ledger;
+  the second probe then matches the ledger (same alias, same
+  destination), so the attacker bites again, outbidding the requested
+  sequence number: the AODV-violation conviction fires.
+
+The asymmetry is the point of the arena: one probe from a throwaway
+identity is not enough; the escalating second probe is what makes the
+detection robust to probe-aware adversaries.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.blackhole import BlackHoleAodv, BlackHoleVehicle
+from repro.attacks.policy import AttackerPolicy
+from repro.mobility.highway import Highway
+from repro.net.node import Node
+from repro.routing.packets import RouteRequest
+from repro.routing.protocol import AodvConfig, AodvProtocol
+from repro.sim.simulator import Simulator
+
+#: Default behaviour: a whisper, not a shout.  The +2 sequence margin
+#: beats the genuine destination reply (requested + 1) without dwarfing
+#: it, and the 3-hop count stays clear of one-hop adjacency cross-checks.
+ADAPTIVE_POLICY = AttackerPolicy(fake_seq_boost=2, fake_hop_count=3)
+
+
+class AdaptiveAodv(BlackHoleAodv):
+    """Black hole AODV that goes honest when it smells a re-probe."""
+
+    def __init__(
+        self,
+        node: Node,
+        config: AodvConfig | None = None,
+        *,
+        policy: AttackerPolicy | None = None,
+        teammate: str | None = None,
+        identity=None,
+    ) -> None:
+        super().__init__(
+            node,
+            config,
+            policy=policy or ADAPTIVE_POLICY,
+            teammate=teammate,
+            identity=identity,
+        )
+        #: destination -> originators whose requests we answered with a
+        #: fake route (the claim ledger the evasion consults)
+        self.claimed: dict[str, set[str]] = {}
+        self.probes_dodged = 0
+
+    def _answer_rreq(self, packet: RouteRequest, sender: str) -> None:
+        served = self.claimed.get(packet.destination)
+        if served is not None and packet.originator not in served:
+            # A destination we already claimed, requested by somebody
+            # new: that is what a re-probe under a disposable identity
+            # looks like.  Behave like an honest node (rebroadcast; we
+            # hold no real route, so we stay silent).
+            self.probes_dodged += 1
+            AodvProtocol._answer_rreq(self, packet, sender)
+            return
+        before = self.fake_replies_sent
+        super()._answer_rreq(packet, sender)
+        if self.fake_replies_sent > before:
+            self.claimed.setdefault(packet.destination, set()).add(
+                packet.originator
+            )
+
+
+class AdaptiveVehicle(BlackHoleVehicle):
+    """A vehicle running the probe-aware adaptive black hole engine."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        highway: Highway,
+        node_id: str,
+        motion,
+        *,
+        policy: AttackerPolicy | None = None,
+        enrolment=None,
+        authority=None,
+        transmission_range: float = 1000.0,
+        aodv_config: AodvConfig | None = None,
+    ) -> None:
+        super().__init__(
+            simulator,
+            highway,
+            node_id,
+            motion,
+            policy=policy or ADAPTIVE_POLICY,
+            enrolment=enrolment,
+            authority=authority,
+            transmission_range=transmission_range,
+            aodv_config=aodv_config,
+        )
+
+    def _make_aodv(self, config: AodvConfig | None) -> AdaptiveAodv:
+        aodv = AdaptiveAodv(
+            self, config, policy=self._policy, identity=self.identity
+        )
+        if self._policy.fake_hello_reply:
+            from repro.core.packets import SecureHello
+
+            self.register_handler(SecureHello, self._fake_hello_reply)
+        return aodv

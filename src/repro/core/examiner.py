@@ -100,6 +100,9 @@ class DetectionService:
         self.crl = RevocationList()
         #: active + recently finished cases, keyed by suspect pseudonym
         self.verification_table: dict[str, _ExamCase] = {}
+        #: open probes keyed by disposable alias — kept in lockstep with
+        #: alias registration so reply dispatch is O(1) in table size
+        self._alias_index: dict[str, _ExamCase] = {}
         #: completed detections this CH finished (emitted records)
         self.records: list[DetectionRecord] = []
         self._rng = rsu.sim.rng("detection")
@@ -274,6 +277,7 @@ class DetectionService:
     def _begin_probe(self, case: _ExamCase) -> None:
         case.alias = f"pid-dis-{self._rng.getrandbits(40):010x}"
         self.rsu.network.add_alias(case.alias, self.rsu)
+        self._alias_index[case.alias] = case
         if not case.fake_destination:
             case.fake_destination = f"pid-fake-{self._rng.getrandbits(40):010x}"
         if case.phase == "probe2" and case.rrep1_seq is not None:
@@ -373,9 +377,9 @@ class DetectionService:
     def _case_by_alias(self, alias: str) -> _ExamCase | None:
         if not alias:
             return None
-        for case in self.verification_table.values():
-            if case.alias == alias and not case.closed:
-                return case
+        case = self._alias_index.get(alias)
+        if case is not None and not case.closed:
+            return case
         return None
 
     def _on_probe_reply(self, case: _ExamCase, packet: RouteReply) -> None:
@@ -516,6 +520,7 @@ class DetectionService:
     def _release_alias(self, case: _ExamCase) -> None:
         if case.alias and self.rsu.network is not None:
             self.rsu.network.remove_alias(case.alias, self.rsu)
+        self._alias_index.pop(case.alias, None)
 
     def _send_result_to(
         self,
@@ -641,6 +646,61 @@ class DetectionService:
         record = DetectionRecord(
             suspect=suspect,
             verdict=VERDICT_FLOODER,
+            packets=ledger.total,
+            reporter=self.rsu.address,
+            reporter_cluster=self.rsu.cluster_index,
+            examined_by=[self.rsu.cluster_index],
+            started_at=case.started_at,
+            finished_at=self.sim.now,
+            breakdown=list(ledger.breakdown),
+        )
+        self.records.append(record)
+        return record
+
+    def convict_suspect(self, suspect: str, *, verdict: str, evidence: str):
+        """Isolate a member convicted by an external (arena) detector.
+
+        Generic entry point for pluggable detectors (``repro.arena``):
+        like flooder/watchdog convictions there is no probe ledger, only
+        the detector's evidence string; unlike them the verdict string is
+        caller-supplied and an ``exam.verdict`` trace event is emitted so
+        detection timelines reconstruct for these convictions too.
+        """
+        existing = self.verification_table.get(suspect)
+        if existing is not None and existing.closed:
+            return None  # already convicted (possibly by a neighbor CH)
+        if self.crl.is_revoked_id(suspect):
+            return None
+        ledger = PacketLedger()
+        ledger.breakdown.append(f"arena-evidence: {evidence}")
+        case = _ExamCase(
+            suspect=suspect,
+            suspect_cluster=self.rsu.cluster_index,
+            reporters=[(self.rsu.address, self.rsu.cluster_index)],
+            certificate=self._lookup_certificate(suspect),
+            ledger=ledger,
+            started_at=self.sim.now,
+            examined_by=[self.rsu.cluster_index],
+        )
+        case.closed = True
+        case.verdict = verdict
+        self.verification_table[suspect] = case
+        obs = self.sim.obs
+        if obs.metrics is not None:
+            obs.metrics.counter(
+                "blackdp.verdicts",
+                cluster=self.rsu.cluster_index,
+                verdict=verdict,
+            ).inc()
+        if obs.trace is not None:
+            obs.trace.emit(
+                self.rsu.node_id, "exam.verdict",
+                cause=f"suspect:{suspect}", detail=verdict,
+            )
+        self._isolate(case)
+        record = DetectionRecord(
+            suspect=suspect,
+            verdict=verdict,
             packets=ledger.total,
             reporter=self.rsu.address,
             reporter_cluster=self.rsu.cluster_index,

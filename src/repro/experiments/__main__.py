@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments figure5
     python -m repro.experiments ablations
     python -m repro.experiments flood [--variants constant,bursty,rotating]
+    python -m repro.experiments arena [--attacks ...] [--detectors ...]
+                                      [--dir DIR] [--csv PATH] [--smoke]
     python -m repro.experiments trial [--metrics] [--trace PATH] [--profile]
                                       [--sample-interval S] [--serve-metrics PORT]
     python -m repro.experiments top --dir DIR   # live view of a campaign ledger
@@ -312,7 +314,90 @@ def _finish_campaign(campaign, args: argparse.Namespace) -> int:
         )
         print()
         print(format_figure4(rows))
+    elif campaign.manifest["spec"].get("kind") == "arena":
+        from repro.arena import aggregate_matrix, format_cells, format_matrix
+
+        cells = aggregate_matrix(campaign.manifest["spec"], campaign.results())
+        print()
+        print(format_matrix(cells))
+        print()
+        print(format_cells(cells))
     return 0
+
+
+def _cmd_arena(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.arena import (
+        arena_csv,
+        available_detectors,
+        format_cells,
+        format_matrix,
+        run_matrix,
+    )
+    from repro.experiments.campaign import CampaignError
+
+    num_vehicles = args.vehicles
+    if args.smoke:
+        attacks = ("wormhole", "adaptive")
+        detectors = ("dri", "examiner")
+        trials = 1
+        if num_vehicles is None:
+            num_vehicles = 20
+    else:
+        attacks = tuple(a for a in args.attacks.split(",") if a)
+        detectors = tuple(d for d in args.detectors.split(",") if d)
+        trials = args.trials
+    for attack in attacks:
+        if attack not in ATTACK_TYPES:
+            print(f"unknown attack type {attack!r}", file=sys.stderr)
+            return 2
+    for detector in detectors:
+        if detector not in available_detectors():
+            print(
+                f"unknown detector {detector!r} "
+                f"(available: {', '.join(available_detectors())})",
+                file=sys.stderr,
+            )
+            return 2
+
+    def _run(directory) -> int:
+        try:
+            campaign, cells = run_matrix(
+                directory,
+                attacks=attacks,
+                detectors=detectors,
+                trials=trials,
+                base_seed=args.base_seed,
+                attacker_cluster=args.cluster,
+                num_vehicles=num_vehicles,
+                jobs=args.jobs,
+                batch=args.batch,
+                progress=_campaign_progress,
+            )
+        except CampaignError as error:
+            print(f"arena campaign failed: {error}", file=sys.stderr)
+            return 2
+        print(campaign.status().format())
+        print()
+        print(format_matrix(cells))
+        print()
+        print(format_cells(cells))
+        if args.csv is not None:
+            Path(args.csv).write_text(arena_csv(cells))
+            print(f"\ncells -> {args.csv}")
+        return 0
+
+    total = len(attacks) * len(detectors) * trials
+    print(
+        f"arena: {len(attacks)} attacker(s) x {len(detectors)} detector(s) "
+        f"x {trials} trial(s) = {total} units"
+    )
+    if args.dir is not None:
+        return _run(args.dir)
+    with tempfile.TemporaryDirectory(prefix="blackdp-arena-") as tmp:
+        return _run(tmp)
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -436,6 +521,43 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument("--trials", type=int, default=20)
     _add_parallel_args(report)
     report.set_defaults(func=_cmd_report)
+    arena = sub.add_parser(
+        "arena", help="adversary-detector arena: attackers x detectors matrix"
+    )
+    arena.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="campaign ledger directory (resumable; temp dir when omitted)",
+    )
+    arena.add_argument(
+        "--attacks",
+        default="single,cooperative,grayhole,wormhole,sybil,adaptive,flood",
+        help="comma-separated attacker families (matrix rows)",
+    )
+    arena.add_argument(
+        "--detectors",
+        default="examiner,dri,sequence,peak,static,trust,naive,sketch",
+        help="comma-separated detector roster (matrix columns)",
+    )
+    arena.add_argument("--trials", type=int, default=3, metavar="N")
+    arena.add_argument("--base-seed", type=int, default=1)
+    arena.add_argument(
+        "--cluster", type=int, default=5, help="attacker placement cluster"
+    )
+    arena.add_argument(
+        "--vehicles", type=int, default=None, metavar="N",
+        help="shrink the Table I world (default: paper-scale; smoke: 20)",
+    )
+    arena.add_argument(
+        "--smoke", action="store_true",
+        help="2x2x1 sanity matrix (wormhole,adaptive x dri,examiner) "
+             "in a 20-vehicle world",
+    )
+    arena.add_argument(
+        "--csv", metavar="PATH", default=None, help="write per-cell CSV"
+    )
+    arena.add_argument("--jobs", type=int, default=1, metavar="N")
+    arena.add_argument("--batch", type=int, default=50, metavar="N")
+    arena.set_defaults(func=_cmd_arena)
     campaign = sub.add_parser(
         "campaign", help="resumable sweeps with an on-disk run ledger"
     )

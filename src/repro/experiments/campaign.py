@@ -108,6 +108,15 @@ def _expand_figure4(spec: dict) -> list[TrialConfig]:
 register_spec_kind("figure4", _expand_figure4)
 
 
+def _expand_arena(spec: dict) -> list[TrialConfig]:
+    from repro.arena.matrix import expand_arena_spec
+
+    return expand_arena_spec(spec)
+
+
+register_spec_kind("arena", _expand_arena)
+
+
 # ----------------------------------------------------------------------
 # Ledger primitives
 # ----------------------------------------------------------------------

@@ -14,7 +14,20 @@ ATTACK_NONE = "none"
 ATTACK_SINGLE = "single"
 ATTACK_COOPERATIVE = "cooperative"
 ATTACK_FLOOD = "flood"
-ATTACK_TYPES = (ATTACK_NONE, ATTACK_SINGLE, ATTACK_COOPERATIVE, ATTACK_FLOOD)
+ATTACK_GRAYHOLE = "grayhole"
+ATTACK_WORMHOLE = "wormhole"
+ATTACK_SYBIL = "sybil"
+ATTACK_ADAPTIVE = "adaptive"
+ATTACK_TYPES = (
+    ATTACK_NONE,
+    ATTACK_SINGLE,
+    ATTACK_COOPERATIVE,
+    ATTACK_FLOOD,
+    ATTACK_GRAYHOLE,
+    ATTACK_WORMHOLE,
+    ATTACK_SYBIL,
+    ATTACK_ADAPTIVE,
+)
 
 
 def point_key(attack: str, cluster: int) -> int:
@@ -114,6 +127,10 @@ class TrialConfig:
     #: None leaves aggregate monitors off — the default, so the protocol
     #: event stream of existing scenarios is untouched
     sketch: object = None
+    #: arena detector configuration (:class:`repro.arena.ArenaConfig`);
+    #: None leaves arena detectors off — the default, keeping the trial's
+    #: event stream identical to pre-arena behaviour
+    arena: object = None
     #: how long to keep simulating after the verification outcome so the
     #: detection and isolation phases complete
     settle_time: float = 40.0

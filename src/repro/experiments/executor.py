@@ -52,7 +52,10 @@ from repro.experiments.progress import ProgressEvent
 #: Bump when the summary fields or the canonical config encoding change;
 #: old cache entries then miss instead of deserialising garbage.
 #: 2: ChannelConfig gained ``batch_broadcast``.
-CACHE_SCHEMA = 3
+#: 3: zero-allocation packet path landed.
+#: 4: arena fields (``detector``, ``time_to_isolation``, overhead
+#:    counters) joined :class:`TrialSummary`.
+CACHE_SCHEMA = 4
 
 #: Shard count for the JSONL cache (single hex digit of the key).
 _CACHE_SHARDS = 16
@@ -128,6 +131,15 @@ class TrialSummary:
     #: virtual time of the first convicting verdict, or None; with the
     #: warm-up subtracted this is the sweep-facing time-to-detection
     first_conviction_at: float | None = None
+    #: ``+``-joined arena detector roster of the trial ("" outside arena)
+    detector: str = ""
+    #: fastest suspicion→isolation span among convicted cases (needs
+    #: ``trace``; None when nothing was convicted or tracing was off)
+    time_to_isolation: float | None = None
+    #: whole-trial radio + backbone transmissions (arena overhead column)
+    overhead_packets: int = 0
+    #: whole-trial radio bytes (0 unless the channel accounts bytes)
+    overhead_bytes: int = 0
 
     @property
     def attack_present(self) -> bool:
@@ -163,6 +175,12 @@ def summarize_trial(config: TrialConfig, result) -> TrialSummary:
             ),
             default=None,
         ),
+        detector=(
+            "+".join(config.arena.detectors) if config.arena is not None else ""
+        ),
+        time_to_isolation=min(result.isolation_delays, default=None),
+        overhead_packets=result.net_packets,
+        overhead_bytes=result.net_bytes,
     )
 
 

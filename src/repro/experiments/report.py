@@ -227,6 +227,35 @@ def generate_report(
         format_flood_sweep(flood), "```", "",
     ]
 
+    # Adversary-detector arena ----------------------------------------
+    from repro.arena import arena_csv, format_matrix, run_matrix
+
+    _, arena_cells = run_matrix(
+        out / "arena-ledger",
+        attacks=("wormhole", "sybil", "adaptive"),
+        detectors=("examiner", "dri", "sequence"),
+        trials=1, base_seed=1, num_vehicles=20,
+    )
+    arena_by_key = {(c.attack, c.detector): c for c in arena_cells}
+    for (attack, detector), expected in (
+        (("wormhole", "examiner"), False),
+        (("wormhole", "dri"), True),
+        (("adaptive", "examiner"), True),
+        (("adaptive", "sequence"), False),
+    ):
+        cell = arena_by_key[(attack, detector)]
+        if (cell.detection_rate > 0) != expected:
+            failures.append(
+                f"arena: {attack} x {detector} detection "
+                f"{cell.detection_rate:.2f}, expected "
+                f"{'>0' if expected else '0'}"
+            )
+    save_csv("arena.csv", arena_csv(arena_cells))
+    sections += [
+        "## Adversary-detector arena (20-vehicle worlds, 1 seed/cell)",
+        "```", format_matrix(arena_cells), "```", "",
+    ]
+
     # PDR + urban -----------------------------------------------------
     pdr = run_pdr(parallel=parallel)
     save_csv("pdr.csv", pdr_csv(pdr))

@@ -15,19 +15,35 @@ from dataclasses import dataclass, field
 from repro.attacks import AttackerPolicy, FloodPolicy
 from repro.core.accounting import DetectionRecord
 from repro.core.verifier import VerificationOutcome
-from repro.obs import DetectionTimeline, ProfileReport, TraceEvent, reconstruct_timelines
+from repro.obs import (
+    CONVICTING_VERDICTS,
+    DetectionTimeline,
+    ProfileReport,
+    TraceEvent,
+    reconstruct_timelines,
+)
 from repro.experiments.config import (
+    ATTACK_ADAPTIVE,
     ATTACK_FLOOD,
+    ATTACK_GRAYHOLE,
     ATTACK_NONE,
     ATTACK_SINGLE,
+    ATTACK_SYBIL,
+    ATTACK_WORMHOLE,
     TrialConfig,
 )
 from repro.experiments.world import World, build_world
 
-#: Verdicts that isolate their suspect: the probe protocol's
-#: ``black-hole``, the watchdog's ``gray-hole``, and the aggregate
-#: monitor's ``rreq-flood``.
-CONVICTING_VERDICTS = frozenset({"black-hole", "gray-hole", "rreq-flood"})
+__all__ = [
+    "CONVICTING_VERDICTS",  # re-exported from repro.obs.timeline
+    "TrialResult",
+    "TrialSession",
+    "begin_trial",
+    "choose_destination_cluster",
+    "run_trial",
+    "run_trial_arms",
+    "sample_policy",
+]
 
 
 @dataclass
@@ -59,6 +75,12 @@ class TrialResult:
     #: populated when :attr:`TrialConfig.trace` is set: per-suspect
     #: detection narratives with time-to-detection/-isolation
     timelines: list[DetectionTimeline] | None = None
+    #: total radio + backbone transmissions over the whole trial (the
+    #: arena's overhead denominator)
+    net_packets: int = 0
+    #: radio bytes sent; 0 unless the channel accounts bytes
+    #: (``ChannelConfig(account_bytes=True)``)
+    net_bytes: int = 0
 
     # ------------------------------------------------------------------
     # Derived classifications
@@ -227,9 +249,48 @@ class TrialSession:
     def _begin_verification(self) -> None:
         self.verification_started = True
         self.deadline = self.world.sim.now + self.config.settle_time
+        arena = self.config.arena
+        if arena is not None and "examiner" not in arena.detectors:
+            # Arena cells without the paper's examiner measure what the
+            # *live detectors alone* catch: the source runs plain AODV
+            # discovery (no BlackDP verification, no suspect reports)
+            # and then commits data to whatever route it selected, so
+            # forwarding-observation detectors get traffic to watch.
+            self.source.aodv.discover(
+                self.destination.address, self._on_plain_discovery
+            )
+            return
         self.world.verifiers["source"].establish_route(
             self.destination.address, self.outcomes.append
         )
+
+    def _on_plain_discovery(self, result) -> None:
+        route = result.route
+        self.outcomes.append(
+            VerificationOutcome(
+                destination=result.destination,
+                verified=route is not None,
+                route=route,
+                reason="plain-aodv",
+                discoveries=result.attempts,
+            )
+        )
+        if route is None:
+            return
+        arena = self.config.arena
+        for index in range(arena.data_packets):
+            self.world.sim.schedule(
+                arena.data_interval * (index + 1),
+                self._send_plain_data,
+                args=(index,),
+                label="arena data",
+                wheel=True,
+            )
+
+    def _send_plain_data(self, index: int) -> None:
+        if self.source.exited or self.source.network is None:
+            return
+        self.source.aodv.send_data(self.destination.address, f"arena-{index}")
 
     def finish(self) -> TrialResult:
         """Drive the remaining phases to completion and classify."""
@@ -301,6 +362,9 @@ class TrialSession:
         }
         result.outcome = self.outcomes[0] if self.outcomes else None
         result.records = self.world.all_records()
+        stats = self.world.net.stats
+        result.net_packets = stats.sent + stats.backbone_sent
+        result.net_bytes = stats.bytes_sent
         obs = self.world.sim.obs
         if obs.metrics is not None:
             result.metrics = obs.metrics.snapshot()
@@ -367,11 +431,38 @@ def begin_trial(config: TrialConfig) -> TrialSession:
             attackers = [
                 world.add_attacker("attacker-b1", attacker_x, policy=policy)
             ]
+        elif config.attack == ATTACK_GRAYHOLE:
+            attackers = [
+                world.add_grayhole("attacker-b1", attacker_x, policy=policy)
+            ]
+        elif config.attack == ATTACK_SYBIL:
+            attackers = [
+                world.add_sybil("attacker-b1", attacker_x, policy=policy)
+            ]
+        elif config.attack == ATTACK_ADAPTIVE:
+            # Default to the probe-aware whisper policy (not the zone
+            # mix): pass config.policy through so None lets the vehicle
+            # apply its own ADAPTIVE_POLICY.
+            if config.policy is None:
+                policy_name = "adaptive-probe-aware"
+            attackers = [
+                world.add_adaptive("attacker-b1", attacker_x, policy=config.policy)
+            ]
+        elif config.attack == ATTACK_WORMHOLE:
+            # Exit endpoint parks in the destination cluster so the
+            # tunnel can confirm (and shortcut to) the destination.
+            if config.policy is None:
+                policy_name = "wormhole-tunnel"
+            exit_x = rng.uniform(dest_start + 50, dest_end - 50)
+            attackers = list(world.add_wormhole_pair(attacker_x, exit_x))
         else:
             teammate_x = min(attacker_x + 400.0, cluster_end + 350.0)
             attackers = list(
                 world.add_cooperative_pair(attacker_x, teammate_x, policy=policy)
             )
+
+    if config.arena is not None:
+        world.install_arena(config.arena)
 
     session = TrialSession(
         config=config,

@@ -11,11 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.attacks import (
+    AdaptiveVehicle,
     AttackerPolicy,
     BlackHoleVehicle,
     FloodingVehicle,
     FloodPolicy,
+    GrayHoleVehicle,
+    SybilVehicle,
+    WormholeVehicle,
     make_cooperative_pair,
+    make_wormhole_pair,
 )
 from repro.clusters import build_rsu_chain
 from repro.core import (
@@ -50,6 +55,8 @@ class World:
     transmission_range: float = 1000.0
     #: aggregate sketch monitors (``repro.sketch``), when installed
     monitors: list = field(default_factory=list)
+    #: live arena detectors (``repro.arena``), when installed
+    arena_detectors: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Lookups
@@ -162,12 +169,146 @@ class World:
         self.vehicles.append(flooder)
         return flooder
 
+    def add_grayhole(
+        self,
+        node_id: str,
+        x: float,
+        speed: float = 0.0,
+        *,
+        lane_y: float = 75.0,
+        policy: AttackerPolicy | None = None,
+        drop_probability: float = 0.5,
+        enrolled: bool = True,
+    ) -> GrayHoleVehicle:
+        """Add a selective-forwarding gray hole vehicle and activate it."""
+        ta = self.ta_for_vehicle(x)
+        motion = VehicleMotion(
+            entry_time=self.sim.now, entry_x=x, speed=speed, lane_y=lane_y
+        )
+        attacker = GrayHoleVehicle(
+            self.sim,
+            self.highway,
+            node_id,
+            motion,
+            policy=policy,
+            drop_probability=drop_probability,
+            enrolment=ta.enroll(node_id, now=self.sim.now) if enrolled else None,
+            authority=ta if enrolled else None,
+            transmission_range=self.transmission_range,
+        )
+        self.net.attach(attacker)
+        attacker.activate()
+        self.vehicles.append(attacker)
+        return attacker
+
+    def add_sybil(
+        self,
+        node_id: str,
+        x: float,
+        speed: float = 0.0,
+        *,
+        lane_y: float = 75.0,
+        policy: AttackerPolicy | None = None,
+        num_pseudonyms: int = 2,
+        enrolled: bool = True,
+    ) -> SybilVehicle:
+        """Add a sybil pseudonym-abuse attacker and activate it."""
+        ta = self.ta_for_vehicle(x)
+        motion = VehicleMotion(
+            entry_time=self.sim.now, entry_x=x, speed=speed, lane_y=lane_y
+        )
+        attacker = SybilVehicle(
+            self.sim,
+            self.highway,
+            node_id,
+            motion,
+            policy=policy,
+            num_pseudonyms=num_pseudonyms,
+            enrolment=ta.enroll(node_id, now=self.sim.now) if enrolled else None,
+            authority=ta if enrolled else None,
+            transmission_range=self.transmission_range,
+        )
+        self.net.attach(attacker)
+        attacker.activate()
+        self.vehicles.append(attacker)
+        return attacker
+
+    def add_adaptive(
+        self,
+        node_id: str,
+        x: float,
+        speed: float = 0.0,
+        *,
+        lane_y: float = 75.0,
+        policy: AttackerPolicy | None = None,
+        enrolled: bool = True,
+    ) -> AdaptiveVehicle:
+        """Add a probe-aware adaptive black hole and activate it."""
+        ta = self.ta_for_vehicle(x)
+        motion = VehicleMotion(
+            entry_time=self.sim.now, entry_x=x, speed=speed, lane_y=lane_y
+        )
+        attacker = AdaptiveVehicle(
+            self.sim,
+            self.highway,
+            node_id,
+            motion,
+            policy=policy,
+            enrolment=ta.enroll(node_id, now=self.sim.now) if enrolled else None,
+            authority=ta if enrolled else None,
+            transmission_range=self.transmission_range,
+        )
+        self.net.attach(attacker)
+        attacker.activate()
+        self.vehicles.append(attacker)
+        return attacker
+
+    def add_wormhole_pair(
+        self,
+        entry_x: float,
+        exit_x: float,
+        speed: float = 0.0,
+        *,
+        ids: tuple[str, str] = ("wormhole-entry", "wormhole-exit"),
+        enrolled: bool = True,
+    ) -> tuple[WormholeVehicle, WormholeVehicle]:
+        """Add a linked wormhole (entry, exit) pair and activate both."""
+        authority = self.ta_for_vehicle(entry_x)
+        entry, exit_ = make_wormhole_pair(
+            self.sim,
+            self.highway,
+            entry_id=ids[0],
+            exit_id=ids[1],
+            entry_x=entry_x,
+            exit_x=exit_x,
+            speed=speed,
+            enroll=(
+                (lambda node_id: authority.enroll(node_id, now=self.sim.now))
+                if enrolled
+                else None
+            ),
+            authority=authority if enrolled else None,
+            transmission_range=self.transmission_range,
+        )
+        for endpoint in (entry, exit_):
+            self.net.attach(endpoint)
+            endpoint.activate()
+            self.vehicles.append(endpoint)
+        return entry, exit_
+
     def install_sketch_monitors(self, config=None) -> list:
         """Attach one aggregate monitor per detection service."""
         from repro.sketch import install_monitors
 
         self.monitors = install_monitors(self.services, config)
         return self.monitors
+
+    def install_arena(self, config) -> list:
+        """Attach live arena detectors (:mod:`repro.arena`) to every RSU."""
+        from repro.arena import install_detectors
+
+        self.arena_detectors = install_detectors(self, config)
+        return self.arena_detectors
 
     def add_cooperative_pair(
         self,

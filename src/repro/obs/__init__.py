@@ -37,6 +37,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.profiler import LabelCost, ProfileReport, RunProfiler
 from repro.obs.timeline import (
+    CONVICTING_VERDICTS,
     DetectionTimeline,
     TimelineStats,
     format_timelines,
@@ -116,6 +117,7 @@ class Observability:
 
 
 __all__ = [
+    "CONVICTING_VERDICTS",
     "DetectionTimeline",
     "LabelCost",
     "MetricCounter",

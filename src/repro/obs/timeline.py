@@ -33,6 +33,13 @@ from repro.obs.trace import TraceEvent
 #: Trace kinds that mark the verdict having reached another party.
 PROPAGATION_KINDS = ("exam.revoke", "exam.revoke_rx", "verify.blacklist")
 
+#: Verdicts that isolate their suspect: the probe protocol's
+#: ``black-hole``, the watchdog's ``gray-hole``, the aggregate monitor's
+#: ``rreq-flood``, and the pluggable arena detectors' ``arena-flagged``.
+CONVICTING_VERDICTS = frozenset(
+    {"black-hole", "gray-hole", "rreq-flood", "arena-flagged"}
+)
+
 
 @dataclass(frozen=True)
 class DetectionTimeline:
@@ -56,7 +63,7 @@ class DetectionTimeline:
 
     @property
     def convicted(self) -> bool:
-        return self.verdict == "black-hole"
+        return self.verdict in CONVICTING_VERDICTS
 
     @property
     def time_to_detection(self) -> float | None:

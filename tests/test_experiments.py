@@ -27,7 +27,7 @@ def test_table1_matches_paper():
 
 def test_trial_config_validation():
     with pytest.raises(ValueError):
-        TrialConfig(attack="wormhole")
+        TrialConfig(attack="rushing")  # not an attack family we model
     with pytest.raises(ValueError):
         TrialConfig(attacker_cluster=11)
 
@@ -164,4 +164,4 @@ def test_cli_figure5(capsys):
 
 
 def test_cli_rejects_unknown_attack(capsys):
-    assert cli_main(["figure4", "--attacks", "wormhole"]) == 2
+    assert cli_main(["figure4", "--attacks", "rushing"]) == 2

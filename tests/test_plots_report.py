@@ -76,9 +76,11 @@ def test_report_generation_end_to_end(tmp_path):
     assert "## Ablations" in content
     assert "## Detection timeline" in content
     assert "## RREQ-flood detection (sketch monitors)" in content
+    assert "## Adversary-detector arena" in content
     assert "## Verdict" in content
-    assert len(result.csv_paths) == 6
+    assert len(result.csv_paths) == 7
     assert any(path.name == "flood.csv" for path in result.csv_paths)
+    assert any(path.name == "arena.csv" for path in result.csv_paths)
     for path in result.csv_paths:
         assert path.exists()
         assert path.read_text().count("\n") >= 2

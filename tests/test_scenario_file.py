@@ -54,7 +54,7 @@ def test_unknown_keys_rejected_loudly():
 
 def test_invalid_values_rejected():
     with pytest.raises(ScenarioError, match="attack must be one of"):
-        parse_scenario({"attack": "wormhole"})
+        parse_scenario({"attack": "rushing"})
     with pytest.raises(ScenarioError, match="trials"):
         parse_scenario({"trials": 0})
     with pytest.raises(ScenarioError, match="unknown policy preset"):
